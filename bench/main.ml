@@ -1,0 +1,212 @@
+(* Benchmark and reproduction harness.
+
+   With no arguments this regenerates every table and figure of the paper at
+   the quick profile (CSV copies under results/) and then times the
+   computational kernel behind each one with Bechamel.  A single argument
+   selects one piece:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table3       # one experiment
+     dune exec bench/main.exe -- micro        # just the Bechamel kernels
+     dune exec bench/main.exe -- tables --profile full   # paper-scale *)
+
+module Profile = Twmc_experiments.Profile
+
+let ppf = Format.std_formatter
+
+let csv name = Some (Filename.concat "results" (name ^ ".csv"))
+
+let run_experiment profile = function
+  | "schedules" -> Twmc_experiments.Figures.schedules ppf
+  | "fig1" -> ignore (Twmc_experiments.Figures.fig1 ?out_csv:(csv "fig1") ppf)
+  | "fig4" -> ignore (Twmc_experiments.Figures.fig4 ?out_csv:(csv "fig4") ppf)
+  | "table3" ->
+      ignore (Twmc_experiments.Table3.run ?out_csv:(csv "table3") profile ppf)
+  | "table4" ->
+      ignore (Twmc_experiments.Table4.run ?out_csv:(csv "table4") profile ppf)
+  | "fig3" -> ignore (Twmc_experiments.Fig3.run ?out_csv:(csv "fig3") profile ppf)
+  | "fig5" | "fig6" | "fig56" ->
+      ignore (Twmc_experiments.Fig56.run ?out_csv:(csv "fig56") profile ppf)
+  | "ablation-ds" ->
+      ignore
+        (Twmc_experiments.Ablations.run_ds_vs_dr ?out_csv:(csv "ablation_ds")
+           profile ppf)
+  | "ablation-eta" ->
+      ignore
+        (Twmc_experiments.Ablations.run_eta ?out_csv:(csv "ablation_eta")
+           profile ppf)
+  | "ablation-rho" ->
+      ignore
+        (Twmc_experiments.Ablations.run_rho ?out_csv:(csv "ablation_rho")
+           profile ppf)
+  | other -> Format.fprintf ppf "unknown experiment %s@." other
+
+let all_experiments =
+  [ "schedules"; "fig1"; "fig4"; "table3"; "table4"; "fig3"; "fig56";
+    "ablation-ds"; "ablation-eta"; "ablation-rho" ]
+
+(* ------------------------------------------------- Bechamel kernels *)
+
+let bench_netlist =
+  lazy
+    (Twmc_workload.Synth.generate ~seed:5
+       { Twmc_workload.Synth.default_spec with
+         Twmc_workload.Synth.n_cells = 12;
+         n_nets = 40;
+         n_pins = 140 })
+
+let bench_placement =
+  lazy
+    (let nl = Lazy.force bench_netlist in
+     let core = Twmc_geometry.Rect.make ~x0:(-300) ~y0:(-300) ~x1:300 ~y1:300 in
+     let est = Twmc_estimator.Dynamic_area.create ~core_w:600 ~core_h:600 nl in
+     let p =
+       Twmc_place.Placement.create ~params:Twmc_place.Params.default ~core
+         ~expander:(Twmc_place.Placement.Dynamic est)
+         ~rng:(Twmc_sa.Rng.create ~seed:6)
+         nl
+     in
+     (nl, est, p))
+
+let bench_channel_scene =
+  lazy
+    (let _, _, p = Lazy.force bench_placement in
+     let regions = Twmc_channel.Extract.of_placement p in
+     let g = Twmc_channel.Graph.build ~track_spacing:2 regions in
+     (p, g))
+
+let micro_tests () =
+  let open Bechamel in
+  let nl = Lazy.force bench_netlist in
+  let schedule = Twmc_sa.Schedule.stage1 ~s_t:1.0 in
+  let t_schedule =
+    (* Tables 1-2: one full cooling profile. *)
+    Test.make ~name:"table1+2: stage-1 cooling profile"
+      (Staged.stage (fun () ->
+           ignore
+             (Twmc_sa.Schedule.temperatures schedule ~t_start:1e5 ~t_final:1.0)))
+  in
+  let t_expansion =
+    let _, est, _ = Lazy.force bench_placement in
+    let tile = Twmc_geometry.Rect.make ~x0:(-40) ~y0:(-30) ~x1:40 ~y1:30 in
+    (* Table 3's enabling kernel: the Eqn 2 dynamic expansion. *)
+    Test.make ~name:"table3: dynamic edge expansion (eqn 2)"
+      (Staged.stage (fun () ->
+           ignore
+             (Twmc_estimator.Dynamic_area.expand_tile est ~cell:0 ~variant:0
+                tile)))
+  in
+  let t_generate =
+    let _, _, p = Lazy.force bench_placement in
+    let limiter =
+      Twmc_place.Range_limiter.of_core ~rho:4.0 ~t_inf:1e5
+        ~core:(Twmc_place.Placement.core p) ~min_window:6
+    in
+    let stats = Twmc_place.Moves.make_stats () in
+    let ctx = Twmc_place.Moves.make_ctx ~placement:p ~limiter ~stats () in
+    let rng = Twmc_sa.Rng.create ~seed:7 in
+    (* Table 4 / Fig 3 / Figs 5-6: the stage-1 generate function. *)
+    Test.make ~name:"table4+figs3,5,6: generate (one SA move)"
+      (Staged.stage (fun () -> Twmc_place.Moves.generate ctx rng ~temp:100.0))
+  in
+  let t_extract =
+    let _, _, p = Lazy.force bench_placement in
+    (* Figs 7-9: channel definition. *)
+    Test.make ~name:"figs7-9: channel definition"
+      (Staged.stage (fun () -> ignore (Twmc_channel.Extract.of_placement p)))
+  in
+  let t_steiner =
+    let _, g = Lazy.force bench_channel_scene in
+    let n = Twmc_channel.Graph.n_nodes g in
+    let terminals = [ [ 0 ]; [ n / 2 ]; [ n - 1 ] ] in
+    (* Figs 10-12: phase-1 Steiner route enumeration. *)
+    Test.make ~name:"figs10-12: steiner M-route enumeration"
+      (Staged.stage (fun () ->
+           ignore (Twmc_route.Steiner.routes g ~m:8 ~terminals)))
+  in
+  let t_modulation =
+    (* Fig 1: the position modulation. *)
+    Test.make ~name:"fig1: modulation weight"
+      (Staged.stage (fun () ->
+           ignore
+             (Twmc_estimator.Modulation.weight Twmc_estimator.Modulation.default
+                ~core_w:1000.0 ~core_h:1000.0 ~x:123.0 ~y:(-77.0))))
+  in
+  let t_window =
+    let lim =
+      Twmc_place.Range_limiter.create ~rho:4.0 ~t_inf:1e5 ~wx_inf:2000.0
+        ~wy_inf:2000.0 ~min_window:6
+    in
+    (* Fig 4: the range-limiter window. *)
+    Test.make ~name:"fig4: range-limiter window"
+      (Staged.stage (fun () ->
+           ignore (Twmc_place.Range_limiter.window lim ~temp:314.0)))
+  in
+  let t_parse =
+    let text = Twmc_netlist.Writer.to_string nl in
+    Test.make ~name:"io: netlist parse"
+      (Staged.stage (fun () -> ignore (Twmc_netlist.Parser.parse_string text)))
+  in
+  [ t_schedule; t_expansion; t_generate; t_extract; t_steiner; t_modulation;
+    t_window; t_parse ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = micro_tests () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
+  in
+  Format.printf "@.Bechamel kernels (monotonic clock):@.";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all
+             (Analyze.ols ~bootstrap:0 ~r_square:false
+                ~predictors:[| Measure.run |])
+             Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "  %-48s %12.1f ns/run@." name est
+          | _ -> Format.printf "  %-48s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_profile acc prof = function
+    | [] -> (List.rev acc, prof)
+    | "--profile" :: p :: rest -> (
+        match Profile.of_name p with
+        | Some p -> strip_profile acc p rest
+        | None -> failwith ("unknown profile " ^ p))
+    | a :: rest -> strip_profile (a :: acc) prof rest
+  in
+  let names, profile = strip_profile [] Profile.quick args in
+  match names with
+  | [] ->
+      Format.printf
+        "TimberWolfMC reproduction — all tables and figures, profile %s@.@."
+        profile.Profile.name;
+      List.iter
+        (fun e ->
+          run_experiment profile e;
+          Format.printf "@.")
+        all_experiments;
+      run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | [ "tables" ] ->
+      List.iter
+        (fun e ->
+          run_experiment profile e;
+          Format.printf "@.")
+        [ "table3"; "table4" ]
+  | names ->
+      List.iter
+        (fun e ->
+          run_experiment profile e;
+          Format.printf "@.")
+        names

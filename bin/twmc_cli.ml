@@ -1,0 +1,262 @@
+(* TimberWolfMC command-line driver. *)
+
+open Cmdliner
+
+let read_netlist path = Twmc_netlist.Parser.parse_file path
+
+(* ---------------------------------------------------------------- gen *)
+
+let gen_cmd =
+  let circuit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "circuit" ] ~docv:"NAME"
+          ~doc:"One of the paper's nine circuits (i1 p1 x1 i2 i3 l1 d2 d1 d3).")
+  in
+  let cells = Arg.(value & opt int 25 & info [ "cells" ] ~docv:"N") in
+  let nets = Arg.(value & opt int 100 & info [ "nets" ] ~docv:"N") in
+  let pins = Arg.(value & opt int 360 & info [ "pins" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write here (stdout otherwise).")
+  in
+  let run circuit cells nets pins seed out =
+    let nl =
+      match circuit with
+      | Some name -> Twmc_workload.Circuits.netlist ~seed name
+      | None ->
+          Twmc_workload.Synth.generate ~seed
+            { Twmc_workload.Synth.default_spec with
+              Twmc_workload.Synth.n_cells = cells;
+              n_nets = nets;
+              n_pins = pins }
+    in
+    match out with
+    | Some path ->
+        Twmc_netlist.Writer.to_file path nl;
+        Format.printf "wrote %a to %s@." Twmc_netlist.Netlist.pp_summary nl path
+    | None -> print_string (Twmc_netlist.Writer.to_string nl)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic netlist (.twn)")
+    Term.(const run $ circuit $ cells $ nets $ pins $ seed $ out)
+
+(* -------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let nl = read_netlist file in
+    Format.printf "%a@." Twmc_netlist.Stats.pp (Twmc_netlist.Stats.of_netlist nl)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print netlist statistics") Term.(const run $ file)
+
+(* ------------------------------------------------------- place / flow *)
+
+let params_term =
+  let a_c = Arg.(value & opt int 100 & info [ "a-c" ] ~docv:"N"
+                   ~doc:"Attempted moves per cell per temperature (paper: 400).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let m = Arg.(value & opt int 20 & info [ "m-routes" ] ~docv:"M"
+                 ~doc:"Alternative routes stored per net.") in
+  let make a_c seed m =
+    ( { Twmc_place.Params.default with Twmc_place.Params.a_c; m_routes = m; seed },
+      seed )
+  in
+  Term.(const make $ a_c $ seed $ m)
+
+let place_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run (params, seed) file =
+    let nl = read_netlist file in
+    let rng = Twmc_sa.Rng.create ~seed in
+    let r = Twmc_place.Stage1.run ~params ~rng nl in
+    Format.printf
+      "stage 1: TEIL=%.0f C1=%.0f residual overlap=%.0f chip=%dx%d (%d \
+       temperatures)@."
+      r.Twmc_place.Stage1.teil r.Twmc_place.Stage1.c1
+      r.Twmc_place.Stage1.residual_overlap
+      (Twmc_geometry.Rect.width r.Twmc_place.Stage1.chip)
+      (Twmc_geometry.Rect.height r.Twmc_place.Stage1.chip)
+      r.Twmc_place.Stage1.temperatures_visited;
+    Array.iteri
+      (fun ci (c : Twmc_netlist.Cell.t) ->
+        let x, y = Twmc_place.Placement.cell_pos r.Twmc_place.Stage1.placement ci in
+        let o = Twmc_place.Placement.cell_orient r.Twmc_place.Stage1.placement ci in
+        Format.printf "%s %d %d %s@." c.Twmc_netlist.Cell.name x y
+          (Twmc_geometry.Orient.to_string o))
+      nl.Twmc_netlist.Netlist.cells
+  in
+  Cmd.v
+    (Cmd.info "place" ~doc:"Run stage-1 placement only; print cell positions")
+    Term.(const run $ params_term $ file)
+
+let flow_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run (params, seed) file =
+    let nl = read_netlist file in
+    let r = Twmc.Flow.run ~params ~seed nl in
+    Format.printf "%a@." Twmc.Flow.pp_result r;
+    List.iteri
+      (fun i (it : Twmc.Stage2.iteration) ->
+        Format.printf
+          "refinement %d: %d regions, routed %d/%d nets, L=%d, X=%d, \
+           TEIL=%.0f, area=%d@."
+          (i + 1) it.Twmc.Stage2.regions it.Twmc.Stage2.routed_nets
+          (it.Twmc.Stage2.routed_nets + it.Twmc.Stage2.unroutable_nets)
+          it.Twmc.Stage2.route_length it.Twmc.Stage2.route_overflow
+          it.Twmc.Stage2.teil_after
+          (Twmc_geometry.Rect.area it.Twmc.Stage2.chip_after))
+      r.Twmc.Flow.stage2.Twmc.Stage2.iterations
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Run the complete two-stage TimberWolfMC flow")
+    Term.(const run $ params_term $ file)
+
+(* -------------------------------------------------------------- route *)
+
+let route_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run (params, seed) file =
+    let nl = read_netlist file in
+    let r = Twmc.Flow.run ~params ~seed nl in
+    match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
+    | None -> Format.printf "no routing produced@."
+    | Some route ->
+        Format.printf "global routing of %s: L=%d, X=%d, %d/%d nets routed@."
+          nl.Twmc_netlist.Netlist.name
+          route.Twmc_route.Global_router.total_length
+          route.Twmc_route.Global_router.overflow
+          (List.length route.Twmc_route.Global_router.routed)
+          (List.length route.Twmc_route.Global_router.routed
+          + List.length route.Twmc_route.Global_router.unroutable);
+        Format.printf "%a@."
+          Twmc_route.Congestion.pp
+          (Twmc_route.Congestion.of_result route);
+        List.iter
+          (fun (rn : Twmc_route.Global_router.routed_net) ->
+            let net = nl.Twmc_netlist.Netlist.nets.(rn.Twmc_route.Global_router.net) in
+            Format.printf "  %-12s len=%-6d edges=%d alternatives=%d@."
+              net.Twmc_netlist.Net.name
+              rn.Twmc_route.Global_router.route.Twmc_route.Steiner.length
+              (List.length rn.Twmc_route.Global_router.route.Twmc_route.Steiner.edges)
+              rn.Twmc_route.Global_router.alternatives)
+          route.Twmc_route.Global_router.routed
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run the flow and report the final global routing per net")
+    Term.(const run $ params_term $ file)
+
+(* --------------------------------------------------------------- draw *)
+
+let draw_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out =
+    Arg.(
+      value & opt string "layout.svg"
+      & info [ "o"; "output" ] ~docv:"SVG" ~doc:"Output SVG path.")
+  in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("placement", `P); ("channels", `C); ("routes", `R) ]) `R
+      & info [ "show" ] ~doc:"placement, channels, or routes (default).")
+  in
+  let run (params, seed) file out what =
+    let nl = read_netlist file in
+    let r = Twmc.Flow.run ~params ~seed nl in
+    let p = r.Twmc.Flow.stage2.Twmc.Stage2.placement in
+    let svg =
+      match (what, r.Twmc.Flow.stage2.Twmc.Stage2.final_route) with
+      | `P, _ | `C, None | `R, None -> Twmc_viz.Render.placement p
+      | `C, Some route ->
+          Twmc_viz.Render.channels p route.Twmc_route.Global_router.graph
+      | `R, Some route -> Twmc_viz.Render.routed p route
+    in
+    Twmc_viz.Svg.write out svg;
+    Format.printf "wrote %s (TEIL %.0f, area %d)@." out r.Twmc.Flow.teil_final
+      r.Twmc.Flow.area_final
+  in
+  Cmd.v
+    (Cmd.info "draw" ~doc:"Run the flow and render the layout as SVG")
+    Term.(const run $ params_term $ file $ out $ what)
+
+(* --------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("table3", `Table3); ("table4", `Table4); ("fig3", `Fig3);
+                  ("fig5", `Fig56); ("fig6", `Fig56); ("fig1", `Fig1);
+                  ("fig4", `Fig4); ("schedules", `Schedules);
+                  ("ablation-ds", `Ds); ("ablation-eta", `Eta);
+                  ("ablation-rho", `Rho); ("all", `All) ]))
+          None
+      & info [] ~docv:"EXPERIMENT")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (enum [ ("quick", Twmc_experiments.Profile.quick);
+                    ("full", Twmc_experiments.Profile.full) ])
+          Twmc_experiments.Profile.quick
+      & info [ "profile" ] ~doc:"quick (scaled-down) or full (paper-scale).")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write CSV outputs here.")
+  in
+  let run which profile csv_dir =
+    let ppf = Format.std_formatter in
+    let csv name =
+      Option.map (fun d -> Filename.concat d (name ^ ".csv")) csv_dir
+    in
+    let dispatch = function
+      | `Table3 -> ignore (Twmc_experiments.Table3.run ?out_csv:(csv "table3") profile ppf)
+      | `Table4 -> ignore (Twmc_experiments.Table4.run ?out_csv:(csv "table4") profile ppf)
+      | `Fig3 -> ignore (Twmc_experiments.Fig3.run ?out_csv:(csv "fig3") profile ppf)
+      | `Fig56 -> ignore (Twmc_experiments.Fig56.run ?out_csv:(csv "fig56") profile ppf)
+      | `Fig1 -> ignore (Twmc_experiments.Figures.fig1 ?out_csv:(csv "fig1") ppf)
+      | `Fig4 -> ignore (Twmc_experiments.Figures.fig4 ?out_csv:(csv "fig4") ppf)
+      | `Schedules -> Twmc_experiments.Figures.schedules ppf
+      | `Ds -> ignore (Twmc_experiments.Ablations.run_ds_vs_dr ?out_csv:(csv "ablation_ds") profile ppf)
+      | `Eta -> ignore (Twmc_experiments.Ablations.run_eta ?out_csv:(csv "ablation_eta") profile ppf)
+      | `Rho -> ignore (Twmc_experiments.Ablations.run_rho ?out_csv:(csv "ablation_rho") profile ppf)
+      | `All -> assert false
+    in
+    match which with
+    | `All ->
+        List.iter
+          (fun w ->
+            dispatch w;
+            Format.fprintf ppf "@.")
+          [ `Schedules; `Fig1; `Fig4; `Table3; `Table4; `Fig3; `Fig56; `Ds;
+            `Eta; `Rho ]
+    | w -> dispatch w
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce a table or figure from the paper")
+    Term.(const run $ which $ profile $ csv_dir)
+
+let () =
+  let info =
+    Cmd.info "twmc" ~version:"1.0.0"
+      ~doc:
+        "TimberWolfMC: macro/custom-cell chip planning, placement and global \
+         routing by simulated annealing (Sechen, DAC 1988)"
+  in
+  exit
+    (Cmd.eval (Cmd.group info
+       [ gen_cmd; stats_cmd; place_cmd; flow_cmd; route_cmd; draw_cmd;
+         experiment_cmd ]))

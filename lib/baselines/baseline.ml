@@ -1,0 +1,83 @@
+open Twmc_geometry
+open Twmc_netlist
+module Placement = Twmc_place.Placement
+module Params = Twmc_place.Params
+
+type placement_result = {
+  method_name : string;
+  positions : (int * int) array;
+}
+
+type evaluated = { name : string; teil : float; chip : Rect.t; area : int }
+
+let uniform_expansion nl =
+  let r = Twmc_estimator.Core_area.determine nl in
+  max 1 r.Twmc_estimator.Core_area.expansion
+
+let evaluate ?expansion ?(seed = 17) (nl : Netlist.t) pr =
+  let e = match expansion with Some e -> e | None -> uniform_expansion nl in
+  let n = Netlist.n_cells nl in
+  if Array.length pr.positions <> n then
+    invalid_arg "Baseline.evaluate: position count mismatch";
+  (* A huge core keeps the boundary-dummy overlap term out of the way; we
+     only measure TEIL and the expanded bounding box here. *)
+  let big = 1 lsl 28 in
+  let core = Rect.make ~x0:(-big) ~y0:(-big) ~x1:big ~y1:big in
+  let exps = Array.make n (e, e, e, e) in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:(Placement.Static exps)
+      ~rng:(Twmc_sa.Rng.create ~seed)
+      nl
+  in
+  Array.iteri (fun ci (x, y) -> Placement.set_cell p ci ~x ~y ()) pr.positions;
+  let chip = Placement.chip_bbox p in
+  { name = pr.method_name;
+    teil = Placement.teil p;
+    chip;
+    area = Rect.area chip }
+
+(* Expanded bounding box of a cell's variant-0 shape centered at a point. *)
+let cell_box (nl : Netlist.t) ~expansion ci (x, y) =
+  let b = Shape.bbox (Cell.variant nl.Netlist.cells.(ci) 0).Cell.shape in
+  Rect.expand_uniform (Rect.translate b ~dx:x ~dy:y) expansion
+
+let spread_overlapping (nl : Netlist.t) ~expansion positions =
+  let n = Array.length positions in
+  let cx =
+    Array.fold_left (fun a (x, _) -> a + x) 0 positions / max 1 n
+  and cy = Array.fold_left (fun a (_, y) -> a + y) 0 positions / max 1 n in
+  let order =
+    List.sort
+      (fun i j ->
+        let di = abs (fst positions.(i) - cx) + abs (snd positions.(i) - cy)
+        and dj = abs (fst positions.(j) - cx) + abs (snd positions.(j) - cy) in
+        Stdlib.compare (di, i) (dj, j))
+      (List.init n Fun.id)
+  in
+  let out = Array.copy positions in
+  let settled = ref [] in
+  List.iter
+    (fun i ->
+      let x0, y0 = out.(i) in
+      (* March outward along the centroid ray (axis-aligned steps when the
+         cell sits on the centroid) until clear of settled cells. *)
+      let dx = x0 - cx and dy = y0 - cy in
+      let len = Float.max 1.0 (sqrt (float_of_int ((dx * dx) + (dy * dy)))) in
+      let ux = float_of_int dx /. len and uy = float_of_int dy /. len in
+      let ux, uy = if dx = 0 && dy = 0 then (1.0, 0.618) else (ux, uy) in
+      let rec probe k =
+        let x = x0 + int_of_float (Float.round (ux *. float_of_int k))
+        and y = y0 + int_of_float (Float.round (uy *. float_of_int k)) in
+        let box = cell_box nl ~expansion i (x, y) in
+        if
+          List.for_all
+            (fun j -> not (Rect.overlaps box (cell_box nl ~expansion j out.(j))))
+            !settled
+        then (x, y)
+        else probe (k + 4)
+      in
+      out.(i) <- probe 0;
+      settled := i :: !settled)
+    order;
+  out

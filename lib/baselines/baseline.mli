@@ -1,0 +1,46 @@
+(** Common harness for the comparison placement methods of Table 4.
+
+    The paper compared TimberWolfMC against manual layouts and other
+    automatic placers which we cannot obtain; DESIGN.md records the
+    substitution: era-appropriate automatic baselines.  Every baseline
+    returns cell positions (orientation R0, variant 0); evaluation gives
+    each method the same wiring allowance TimberWolfMC's stage 1 starts
+    from — the uniform Eqn 5 expansion — and measures the exact-pin TEIL
+    and the expanded bounding-box area, so comparisons isolate placement
+    quality. *)
+
+type placement_result = {
+  method_name : string;
+  positions : (int * int) array;  (** Cell centers. *)
+}
+
+type evaluated = {
+  name : string;
+  teil : float;
+  chip : Twmc_geometry.Rect.t;
+  area : int;
+}
+
+val uniform_expansion : Twmc_netlist.Netlist.t -> int
+(** The Eqn 5 expansion at the fixed-point core size (same allowance stage 1
+    begins with). *)
+
+val evaluate :
+  ?expansion:int ->
+  ?seed:int ->
+  Twmc_netlist.Netlist.t ->
+  placement_result ->
+  evaluated
+(** Builds a measurement placement (variant 0, orientation R0, uncommitted
+    pins on deterministic sites), applies the positions, and reads TEIL and
+    expanded-bbox area. *)
+
+val spread_overlapping :
+  Twmc_netlist.Netlist.t ->
+  expansion:int ->
+  (int * int) array ->
+  (int * int) array
+(** Shared legalization helper: remove residual overlap from a target
+    placement by sweeping cells in distance-from-centroid order and pushing
+    each one outward along its centroid ray until its expanded bounding box
+    clears all previously-settled cells. *)

@@ -1,0 +1,84 @@
+open Twmc_geometry
+open Twmc_netlist
+
+(* Connectivity weight between two cells: number of nets they share. *)
+let connectivity (nl : Netlist.t) =
+  let n = Netlist.n_cells nl in
+  let w = Array.make_matrix n n 0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      let cells =
+        Array.to_list net.Net.pins
+        |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+        |> List.sort_uniq Stdlib.compare
+      in
+      let rec pairs = function
+        | [] -> ()
+        | c :: rest ->
+            List.iter
+              (fun c' ->
+                w.(c).(c') <- w.(c).(c') + 1;
+                w.(c').(c) <- w.(c').(c) + 1)
+              rest;
+            pairs rest
+      in
+      pairs cells)
+    nl.Netlist.nets;
+  w
+
+let cluster_order (nl : Netlist.t) =
+  let n = Netlist.n_cells nl in
+  let w = connectivity nl in
+  let degree i = Array.fold_left ( + ) 0 w.(i) in
+  let placed = Array.make n false in
+  let start = ref 0 in
+  for i = 1 to n - 1 do
+    if degree i > degree !start then start := i
+  done;
+  placed.(!start) <- true;
+  let order = ref [ !start ] in
+  for _ = 2 to n do
+    let best = ref (-1) and bestw = ref (-1) in
+    for i = 0 to n - 1 do
+      if not placed.(i) then begin
+        let wi =
+          List.fold_left (fun acc j -> acc + w.(i).(j)) 0 !order
+        in
+        if wi > !bestw then begin
+          bestw := wi;
+          best := i
+        end
+      end
+    done;
+    placed.(!best) <- true;
+    order := !best :: !order
+  done;
+  List.rev !order
+
+let place ?expansion (nl : Netlist.t) =
+  let e = match expansion with Some e -> e | None -> Baseline.uniform_expansion nl in
+  let n = Netlist.n_cells nl in
+  let dims =
+    Array.map
+      (fun (c : Cell.t) ->
+        let b = Shape.bbox (Cell.variant c 0).Cell.shape in
+        (Rect.width b + (2 * e), Rect.height b + (2 * e)))
+      nl.Netlist.cells
+  in
+  let total = Array.fold_left (fun a (w, h) -> a + (w * h)) 0 dims in
+  let row_width = int_of_float (sqrt (float_of_int total)) in
+  let positions = Array.make n (0, 0) in
+  let x = ref 0 and y = ref 0 and row_h = ref 0 in
+  List.iter
+    (fun i ->
+      let w, h = dims.(i) in
+      if !x > 0 && !x + w > row_width then begin
+        x := 0;
+        y := !y + !row_h;
+        row_h := 0
+      end;
+      positions.(i) <- (!x + (w / 2), !y + (h / 2));
+      x := !x + w;
+      row_h := max !row_h h)
+    (cluster_order nl);
+  { Baseline.method_name = "shelf"; positions }

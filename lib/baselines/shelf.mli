@@ -1,0 +1,11 @@
+(** Greedy constructive baseline: connectivity-ordered shelf packing.
+
+    Cells are placed left-to-right into rows of roughly [sqrt(total area)]
+    width, each cell padded by the uniform wiring expansion; the order is a
+    cluster-growth order — start from the most-connected cell and repeatedly
+    append the unplaced cell most connected to the placed set — so strongly
+    coupled cells land near each other.  This models the quality of a quick
+    constructive layout (the "early design stage" comparison point). *)
+
+val place :
+  ?expansion:int -> Twmc_netlist.Netlist.t -> Baseline.placement_result

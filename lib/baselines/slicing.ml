@@ -1,0 +1,207 @@
+open Twmc_geometry
+open Twmc_netlist
+module Rng = Twmc_sa.Rng
+
+let op_v = -1 (* side-by-side: widths add *)
+let op_h = -2 (* stacked: heights add *)
+
+let is_operator e = e < 0
+
+let is_normalized expr =
+  let n = Array.length expr in
+  let operands = ref 0 and operators = ref 0 in
+  let ok = ref (n > 0) in
+  for i = 0 to n - 1 do
+    if is_operator expr.(i) then begin
+      incr operators;
+      if !operators >= !operands then ok := false;
+      if i > 0 && expr.(i - 1) = expr.(i) then ok := false
+    end
+    else incr operands
+  done;
+  !ok && !operators = !operands - 1
+
+type node =
+  | Leaf of int
+  | Split of int * node * node  (* operator, left/bottom, right/top *)
+
+let tree_of expr =
+  let stack = ref [] in
+  Array.iter
+    (fun e ->
+      if is_operator e then
+        match !stack with
+        | b :: a :: rest -> stack := Split (e, a, b) :: rest
+        | _ -> invalid_arg "Slicing.tree_of: malformed expression"
+      else stack := Leaf e :: !stack)
+    expr;
+  match !stack with
+  | [ t ] -> t
+  | _ -> invalid_arg "Slicing.tree_of: malformed expression"
+
+let rec dims_of ~cell_dims = function
+  | Leaf c -> cell_dims.(c)
+  | Split (op, a, b) ->
+      let wa, ha = dims_of ~cell_dims a and wb, hb = dims_of ~cell_dims b in
+      if op = op_v then (wa + wb, max ha hb) else (max wa wb, ha + hb)
+
+let rec assign ~cell_dims ~positions (x, y) = function
+  | Leaf c ->
+      let w, h = cell_dims.(c) in
+      positions.(c) <- (x + (w / 2), y + (h / 2))
+  | Split (op, a, b) ->
+      let wa, ha = dims_of ~cell_dims a in
+      assign ~cell_dims ~positions (x, y) a;
+      if op = op_v then assign ~cell_dims ~positions (x + wa, y) b
+      else assign ~cell_dims ~positions (x, y + ha) b
+
+let evaluate ~cell_dims ~nets expr =
+  let tree = tree_of expr in
+  let w, h = dims_of ~cell_dims tree in
+  let positions = Array.make (Array.length cell_dims) (0, 0) in
+  assign ~cell_dims ~positions (0, 0) tree;
+  let wl = ref 0 in
+  Array.iter
+    (fun cells ->
+      let minx = ref max_int and maxx = ref min_int in
+      let miny = ref max_int and maxy = ref min_int in
+      List.iter
+        (fun c ->
+          let x, y = positions.(c) in
+          if x < !minx then minx := x;
+          if x > !maxx then maxx := x;
+          if y < !miny then miny := y;
+          if y > !maxy then maxy := y)
+        cells;
+      wl := !wl + (!maxx - !minx) + (!maxy - !miny))
+    nets;
+  (w * h, !wl, positions)
+
+(* The three Wong–Liu move generators; each returns a candidate expression
+   (a fresh array) or None when no valid candidate exists at the chosen
+   spot. *)
+let move_swap_operands rng expr =
+  let idx =
+    Array.to_list (Array.mapi (fun i e -> (i, e)) expr)
+    |> List.filter (fun (_, e) -> not (is_operator e))
+    |> List.map fst
+    |> Array.of_list
+  in
+  if Array.length idx < 2 then None
+  else begin
+    let k = Rng.int_incl rng 0 (Array.length idx - 2) in
+    let e = Array.copy expr in
+    let i = idx.(k) and j = idx.(k + 1) in
+    let tmp = e.(i) in
+    e.(i) <- e.(j);
+    e.(j) <- tmp;
+    Some e
+  end
+
+let move_complement_chain rng expr =
+  let n = Array.length expr in
+  let starts =
+    List.filter
+      (fun i ->
+        is_operator expr.(i) && (i = 0 || not (is_operator expr.(i - 1))))
+      (List.init n Fun.id)
+  in
+  match starts with
+  | [] -> None
+  | _ ->
+      let s = Rng.pick_list rng starts in
+      let e = Array.copy expr in
+      let i = ref s in
+      while !i < n && is_operator e.(!i) do
+        e.(!i) <- (if e.(!i) = op_v then op_h else op_v);
+        incr i
+      done;
+      Some e
+
+let move_swap_operand_operator rng expr =
+  let n = Array.length expr in
+  let candidates =
+    List.filter
+      (fun i ->
+        i + 1 < n
+        && (is_operator expr.(i) <> is_operator expr.(i + 1)))
+      (List.init (n - 1) Fun.id)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let i = Rng.pick_list rng candidates in
+      let e = Array.copy expr in
+      let tmp = e.(i) in
+      e.(i) <- e.(i + 1);
+      e.(i + 1) <- tmp;
+      if is_normalized e then Some e else None
+
+let place ?expansion ?(seed = 11) ?(moves_per_cell = 600) (nl : Netlist.t) =
+  let e =
+    match expansion with Some e -> e | None -> Baseline.uniform_expansion nl
+  in
+  let n = Netlist.n_cells nl in
+  let cell_dims =
+    Array.map
+      (fun (c : Cell.t) ->
+        let b = Shape.bbox (Cell.variant c 0).Cell.shape in
+        (Rect.width b + (2 * e), Rect.height b + (2 * e)))
+      nl.Netlist.cells
+  in
+  let nets =
+    Array.map
+      (fun (net : Net.t) ->
+        Array.to_list net.Net.pins
+        |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+        |> List.sort_uniq Stdlib.compare)
+      nl.Netlist.nets
+    |> Array.to_list
+    |> List.filter (fun l -> List.length l >= 2)
+    |> Array.of_list
+  in
+  let rng = Rng.create ~seed in
+  (* Initial expression: c0 c1 V c2 V ... (one long horizontal row). *)
+  let init =
+    Array.of_list
+      (List.concat_map
+         (fun i -> if i = 0 then [ 0 ] else [ i; (if i mod 2 = 0 then op_v else op_h) ])
+         (List.init n Fun.id))
+  in
+  assert (is_normalized init);
+  let current = ref init in
+  let area0, wl0, _ = evaluate ~cell_dims ~nets init in
+  let lambda = float_of_int area0 /. float_of_int (max 1 wl0) in
+  let cost expr =
+    let area, wl, _ = evaluate ~cell_dims ~nets expr in
+    float_of_int area +. (lambda *. float_of_int wl)
+  in
+  let ccur = ref (cost init) in
+  let best = ref init and cbest = ref !ccur in
+  let t = ref (0.3 *. !ccur) in
+  let floor = 1e-6 *. !ccur in
+  while !t > floor do
+    for _ = 1 to moves_per_cell * n / 50 do
+      let proposal =
+        match Rng.int_incl rng 0 2 with
+        | 0 -> move_swap_operands rng !current
+        | 1 -> move_complement_chain rng !current
+        | _ -> move_swap_operand_operator rng !current
+      in
+      match proposal with
+      | None -> ()
+      | Some expr ->
+          let c = cost expr in
+          if Twmc_sa.Anneal.metropolis rng ~t:!t ~delta:(c -. !ccur) then begin
+            current := expr;
+            ccur := c;
+            if c < !cbest then begin
+              best := expr;
+              cbest := c
+            end
+          end
+    done;
+    t := 0.85 *. !t
+  done;
+  let _, _, positions = evaluate ~cell_dims ~nets !best in
+  { Baseline.method_name = "slicing"; positions }

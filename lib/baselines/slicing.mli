@@ -1,0 +1,22 @@
+(** Slicing-floorplan simulated annealing baseline (Wong–Liu, DAC 1986 —
+    one of the prior floorplanners the paper contrasts TimberWolfMC with:
+    no exact pins, no rectilinear cells, slicing structures only).
+
+    The floorplan is a normalized Polish expression over the cells
+    (operators [V] = side-by-side, [H] = stacked); annealing applies the
+    three classical moves — swap adjacent operands, complement an operator
+    chain, swap an operand with an adjacent operator (validity-checked) —
+    on the cost [area + λ·wirelength], with center-to-center half-perimeter
+    wirelength. *)
+
+val place :
+  ?expansion:int ->
+  ?seed:int ->
+  ?moves_per_cell:int ->
+  Twmc_netlist.Netlist.t ->
+  Baseline.placement_result
+
+val is_normalized : int array -> bool
+(** Test hook: validity of a Polish expression in the internal encoding
+    (cell ids ≥ 0, [-1] = V, [-2] = H): balloting property and no two equal
+    adjacent operators. *)

@@ -1,0 +1,120 @@
+open Twmc_netlist
+
+let laplacian (nl : Netlist.t) =
+  let n = Netlist.n_cells nl in
+  let a = Array.make_matrix n n 0.0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      let cells =
+        Array.to_list net.Net.pins
+        |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+        |> List.sort_uniq Stdlib.compare
+      in
+      let k = List.length cells in
+      if k >= 2 then begin
+        let w = 1.0 /. float_of_int (k - 1) in
+        let rec pairs = function
+          | [] -> ()
+          | c :: rest ->
+              List.iter
+                (fun c' ->
+                  a.(c).(c') <- a.(c).(c') -. w;
+                  a.(c').(c) <- a.(c').(c) -. w;
+                  a.(c).(c) <- a.(c).(c) +. w;
+                  a.(c').(c') <- a.(c').(c') +. w)
+                rest;
+              pairs rest
+        in
+        pairs cells
+      end)
+    nl.Netlist.nets;
+  a
+
+let jacobi_eigen a0 =
+  let n = Array.length a0 in
+  let a = Array.map Array.copy a0 in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let off_diag () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    !s
+  in
+  let sweeps = ref 0 in
+  while off_diag () > 1e-12 && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if Float.abs a.(p).(q) > 1e-15 then begin
+          let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. a.(p).(q)) in
+          let t =
+            let s = if theta >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          for k = 0 to n - 1 do
+            let akp = a.(k).(p) and akq = a.(k).(q) in
+            a.(k).(p) <- (c *. akp) -. (s *. akq);
+            a.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = a.(p).(k) and aqk = a.(q).(k) in
+            a.(p).(k) <- (c *. apk) -. (s *. aqk);
+            a.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  let order =
+    List.sort (fun i j -> Stdlib.compare a.(i).(i) a.(j).(j)) (List.init n Fun.id)
+  in
+  let eigenvalues = Array.of_list (List.map (fun i -> a.(i).(i)) order) in
+  let eigenvectors =
+    Array.of_list (List.map (fun i -> Array.init n (fun k -> v.(k).(i))) order)
+  in
+  (eigenvalues, eigenvectors)
+
+let place ?expansion (nl : Netlist.t) =
+  let e = match expansion with Some e -> e | None -> Baseline.uniform_expansion nl in
+  let n = Netlist.n_cells nl in
+  if n < 4 then
+    (* Degenerate: fall back to shelf order. *)
+    { (Shelf.place ~expansion:e nl) with Baseline.method_name = "spectral" }
+  else begin
+    let _, vecs = jacobi_eigen (laplacian nl) in
+    let vx = vecs.(1) and vy = vecs.(2) in
+    (* Scale the unit-norm eigenvector coordinates to a core of the same
+       area the uniform expansion implies. *)
+    let total =
+      Array.fold_left
+        (fun acc (c : Cell.t) ->
+          let open Twmc_geometry in
+          let b = Shape.bbox (Cell.variant c 0).Cell.shape in
+          acc + ((Rect.width b + (2 * e)) * (Rect.height b + (2 * e))))
+        0 nl.Netlist.cells
+    in
+    let side = sqrt (float_of_int total) in
+    let spread v =
+      let lo = Array.fold_left Float.min infinity v
+      and hi = Array.fold_left Float.max neg_infinity v in
+      let range = Float.max 1e-9 (hi -. lo) in
+      Array.map (fun x -> ((x -. lo) /. range -. 0.5) *. side *. 1.2) v
+    in
+    let xs = spread vx and ys = spread vy in
+    let positions =
+      Array.init n (fun i ->
+          (int_of_float (Float.round xs.(i)), int_of_float (Float.round ys.(i))))
+    in
+    let positions = Baseline.spread_overlapping nl ~expansion:e positions in
+    { Baseline.method_name = "spectral"; positions }
+  end

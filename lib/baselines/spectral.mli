@@ -1,0 +1,20 @@
+(** Resistive-network / quadratic placement baseline (the Table 4 "il"
+    comparison was a resistive-network optimizer, Cheng–Kuh 1984).
+
+    Nets are modeled as resistor cliques (weight [1/(k-1)] per pair); the
+    placement minimizing the quadratic wirelength subject to
+    non-degeneracy is given by the Laplacian's Fiedler eigenvectors — the
+    eigenvectors of the 2nd and 3rd smallest eigenvalues supply x and y.
+    The analytic solution is scaled to the target core and legalized with
+    the shared outward-spread pass. *)
+
+val place :
+  ?expansion:int -> Twmc_netlist.Netlist.t -> Baseline.placement_result
+
+val laplacian : Twmc_netlist.Netlist.t -> float array array
+(** The clique-model Laplacian (exposed for tests). *)
+
+val jacobi_eigen : float array array -> float array * float array array
+(** [jacobi_eigen a] for a symmetric matrix: eigenvalues (ascending) and the
+    corresponding eigenvectors as rows.  Classical cyclic Jacobi — fine for
+    the ≤100-cell matrices this package sees (exposed for tests). *)

@@ -1,0 +1,6 @@
+(** Comparison placement methods for the Table 4 experiments. *)
+
+module Baseline = Baseline
+module Shelf = Shelf
+module Spectral = Spectral
+module Slicing = Slicing

@@ -1,0 +1,31 @@
+(** Mapping net pins onto the channel graph (Sec 4.1, Fig 9: "the pins on
+    each edge of each cell are mapped onto the corresponding adjacent
+    channel edge" by perpendicular projection).
+
+    Each pin becomes a set of candidate graph nodes: the critical regions
+    bordered by the pin's cell whose rectangle contains the pin's location
+    on its boundary (several, when regions overlap).  Electrically
+    equivalent pins (same net, same cell, same [equiv] class) merge into one
+    terminal whose candidate set is the union — the router connects to any
+    one of them (Sec 4.2). *)
+
+type terminal = {
+  candidates : int list;  (** Nonempty list of graph node ids. *)
+  pos : int * int;  (** Representative pin location, for reporting. *)
+}
+
+type net_task = {
+  net : int;
+  terminals : terminal list;
+}
+
+val project_pin :
+  Graph.t -> cell:int -> pos:int * int -> int list
+(** Candidate nodes for one pin; falls back to the Manhattan-nearest region
+    when no bordering region contains the pin (e.g. the edge is fully
+    abutted). *)
+
+val tasks :
+  Graph.t -> Twmc_place.Placement.t -> net_task list
+(** One task per net with at least two terminals after equivalence
+    merging. *)

@@ -1,0 +1,34 @@
+open Twmc_geometry
+
+type owner = Cell of int | Boundary
+type dir = V | H
+
+type t = {
+  rect : Rect.t;
+  dir : dir;
+  lo_owner : owner;
+  hi_owner : owner;
+  lo_edge : Edge.t;
+  hi_edge : Edge.t;
+}
+
+let thickness t =
+  match t.dir with V -> Rect.width t.rect | H -> Rect.height t.rect
+
+let span_length t =
+  match t.dir with V -> Rect.height t.rect | H -> Rect.width t.rect
+
+let center t = Rect.center t.rect
+
+let borders_cell t ci =
+  (match t.lo_owner with Cell c -> c = ci | Boundary -> false)
+  || (match t.hi_owner with Cell c -> c = ci | Boundary -> false)
+
+let pp_owner ppf = function
+  | Cell c -> Format.fprintf ppf "c%d" c
+  | Boundary -> Format.pp_print_string ppf "core"
+
+let pp ppf t =
+  Format.fprintf ppf "%s %a [%a|%a] w=%d"
+    (match t.dir with V -> "V" | H -> "H")
+    Rect.pp t.rect pp_owner t.lo_owner pp_owner t.hi_owner (thickness t)

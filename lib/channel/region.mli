@@ -1,0 +1,34 @@
+(** Critical regions (Sec 4.1).
+
+    A critical region is a rectangle of empty space bordered on two opposite
+    sides by exactly two parallel edges belonging to different cells (or one
+    cell edge and the core boundary): the only channel shape whose expected
+    width is given by the single density parameter of Eqn 22.  Unlike Chen's
+    bottlenecks, overlapping critical regions (one from a vertical pair, one
+    from a horizontal pair) are all kept. *)
+
+type owner = Cell of int | Boundary
+
+type dir = V | H
+(** [V]: defined by two vertical cell edges — a vertical channel whose
+    thickness is the rectangle's width.  [H]: defined by horizontal edges;
+    thickness is the height. *)
+
+type t = {
+  rect : Twmc_geometry.Rect.t;
+  dir : dir;
+  lo_owner : owner;  (** Owner of the low-side bordering edge. *)
+  hi_owner : owner;
+  lo_edge : Twmc_geometry.Edge.t;
+  hi_edge : Twmc_geometry.Edge.t;
+}
+
+val thickness : t -> int
+(** The gap between the two defining edges. *)
+
+val span_length : t -> int
+(** The common span of the two defining edges. *)
+
+val center : t -> int * int
+val borders_cell : t -> int -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+(** Channel definition (Sec 4.1): critical regions, the channel graph, and
+    pin projection. *)
+
+module Region = Region
+module Extract = Extract
+module Graph = Graph
+module Pin_map = Pin_map

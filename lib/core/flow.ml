@@ -1,0 +1,41 @@
+open Twmc_geometry
+module Params = Twmc_place.Params
+module Stage1 = Twmc_place.Stage1
+module Placement = Twmc_place.Placement
+
+type result = {
+  netlist : Twmc_netlist.Netlist.t;
+  stage1 : Stage1.result;
+  stage2 : Stage2.result;
+  teil_stage1 : float;
+  area_stage1 : int;
+  teil_final : float;
+  area_final : int;
+  chip : Rect.t;
+  elapsed_s : float;
+}
+
+let run ?(params = Params.default) ?seed nl =
+  let seed = match seed with Some s -> s | None -> params.Params.seed in
+  let rng = Twmc_sa.Rng.create ~seed in
+  let t0 = Sys.time () in
+  let s1 = Stage1.run ~params ~rng nl in
+  let teil_stage1 = s1.Stage1.teil in
+  let area_stage1 = Rect.area s1.Stage1.chip in
+  let s2 = Stage2.run ~rng s1 in
+  { netlist = nl;
+    stage1 = s1;
+    stage2 = s2;
+    teil_stage1;
+    area_stage1;
+    teil_final = s2.Stage2.teil;
+    area_final = Rect.area s2.Stage2.chip;
+    chip = s2.Stage2.chip;
+    elapsed_s = Sys.time () -. t0 }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: TEIL %.0f -> %.0f, area %d -> %d (%.1fs, %d temps)@]"
+    r.netlist.Twmc_netlist.Netlist.name r.teil_stage1 r.teil_final
+    r.area_stage1 r.area_final r.elapsed_s
+    r.stage1.Stage1.temperatures_visited

@@ -1,0 +1,27 @@
+(** The complete TimberWolfMC flow: stage-1 annealing placement with the
+    dynamic interconnect-area estimator, followed by stage-2 refinement
+    (channel definition → global routing → low-temperature refinement,
+    iterated).  This is the top-level entry point a downstream user calls;
+    everything else in the package is reachable from its result. *)
+
+type result = {
+  netlist : Twmc_netlist.Netlist.t;
+  stage1 : Twmc_place.Stage1.result;
+  stage2 : Stage2.result;
+  teil_stage1 : float;  (** TEIL at the end of stage 1 (Table 3 input). *)
+  area_stage1 : int;  (** Chip (expanded bounding box) area after stage 1. *)
+  teil_final : float;
+  area_final : int;
+  chip : Twmc_geometry.Rect.t;
+  elapsed_s : float;
+}
+
+val run :
+  ?params:Twmc_place.Params.t ->
+  ?seed:int ->
+  Twmc_netlist.Netlist.t ->
+  result
+(** [seed] (default the params' seed) drives every stochastic choice; runs
+    are reproducible. *)
+
+val pp_result : Format.formatter -> result -> unit

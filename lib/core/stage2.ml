@@ -1,0 +1,194 @@
+open Twmc_geometry
+open Twmc_netlist
+module Placement = Twmc_place.Placement
+module Params = Twmc_place.Params
+module Moves = Twmc_place.Moves
+module Range_limiter = Twmc_place.Range_limiter
+module Stage1 = Twmc_place.Stage1
+module Schedule = Twmc_sa.Schedule
+module Extract = Twmc_channel.Extract
+module Graph = Twmc_channel.Graph
+module Pin_map = Twmc_channel.Pin_map
+module Region = Twmc_channel.Region
+module Router = Twmc_route.Global_router
+
+type iteration = {
+  regions : int;
+  graph_edges : int;
+  routed_nets : int;
+  unroutable_nets : int;
+  route_length : int;
+  route_overflow : int;
+  teil_after : float;
+  chip_after : Rect.t;
+  cost_after : float;
+  overlap_after : float;
+}
+
+type result = {
+  placement : Placement.t;
+  iterations : iteration list;
+  final_route : Router.result option;
+  teil : float;
+  chip : Rect.t;
+}
+
+let required_expansions p (route : Router.result) =
+  let nl = Placement.netlist p in
+  let ts = nl.Netlist.track_spacing in
+  let n = Netlist.n_cells nl in
+  (* One-track floor on every side: even a pin-free edge gets some wiring
+     space (cf. f_rp >= 1 in stage 1). *)
+  let exps = Array.make n (ts, ts, ts, ts) in
+  let densities = Router.node_density route in
+  let bump ci side half =
+    let l, r, b, t = exps.(ci) in
+    exps.(ci) <-
+      (match side with
+      | Side.Left -> (max l half, r, b, t)
+      | Side.Right -> (l, max r half, b, t)
+      | Side.Bottom -> (l, r, max b half, t)
+      | Side.Top -> (l, r, b, max t half))
+  in
+  Array.iteri
+    (fun i (region : Region.t) ->
+      (* Eqn 22: w = (d + 2)·t_s, half per bordering edge. *)
+      let w = (densities.(i) + 2) * ts in
+      let half = w / 2 in
+      List.iter
+        (fun (owner, edge) ->
+          match owner with
+          | Region.Cell ci -> bump ci (Side.of_edge edge) half
+          | Region.Boundary -> ())
+        [ (region.Region.lo_owner, region.Region.lo_edge);
+          (region.Region.hi_owner, region.Region.hi_edge) ])
+    route.Router.graph.Graph.regions;
+  exps
+
+let channel_and_route ~rng p =
+  let nl = Placement.netlist p in
+  let prm = Placement.params p in
+  let regions = Extract.of_placement p in
+  let graph = Graph.build ~track_spacing:nl.Netlist.track_spacing regions in
+  let tasks = Pin_map.tasks graph p in
+  let route =
+    Router.route ~m:prm.Params.m_routes
+      ~budget_factor:prm.Params.route_effort ~rng ~graph ~tasks ()
+  in
+  route
+
+let avg_effective_cell_area p =
+  let nl = Placement.netlist p in
+  let n = Netlist.n_cells nl in
+  let total = ref 0 in
+  for ci = 0 to n - 1 do
+    List.iter
+      (fun r -> total := !total + Rect.area r)
+      (Placement.expanded_tiles p ci)
+  done;
+  float_of_int !total /. float_of_int (max 1 n)
+
+let anneal ~rng ~final p =
+  let prm = Placement.params p in
+  let nl = Placement.netlist p in
+  let s_t = Schedule.s_t ~avg_cell_area:(avg_effective_cell_area p) in
+  let t_inf = Schedule.t_infinity ~s_t in
+  let schedule = Schedule.stage2 ~s_t in
+  let limiter =
+    Range_limiter.of_core ~rho:prm.Params.rho ~t_inf ~core:(Placement.core p)
+      ~min_window:prm.Params.min_window
+  in
+  let t_start = Range_limiter.t_for_window_fraction limiter ~mu:prm.Params.mu in
+  let stats = Moves.make_stats () in
+  let ctx =
+    Moves.make_ctx ~allow_orient:false ~allow_variant:false ~interchanges:false
+      ~placement:p ~limiter ~stats ()
+  in
+  let a = prm.Params.a_c * Netlist.n_cells nl in
+  let t_floor = 1e-6 *. t_inf in
+  let frozen = ref 0 and last_cost = ref nan in
+  let rec loop temp =
+    for _ = 1 to a do
+      Moves.generate ctx rng ~temp
+    done;
+    Placement.recompute_all p;
+    let c = Placement.total_cost p in
+    if c = !last_cost then incr frozen else frozen := 0;
+    last_cost := c;
+    let stop =
+      if final then !frozen >= 3
+      else Range_limiter.at_min_span limiter ~temp
+    in
+    if stop then quench temp 0
+    else begin
+      let temp' = Schedule.next schedule temp in
+      if temp' >= t_floor then loop temp' else quench temp' 0
+    end
+  (* Bounded quench past the formal stopping criterion: refinement must end
+     overlap-free for the routed channel widths to be realizable. *)
+  and quench temp _k =
+    ignore
+      (Twmc_place.Quench.run ~rng ~placement:p ~stats ~limiter
+         ~moves_per_loop:a ~t_start:temp ~allow_orient:false
+         ~allow_variant:false ~interchanges:false ())
+  in
+  loop t_start
+
+(* Resize the core so the statically-expanded cells fit at the configured
+   fill fraction — the paper's refinement "provides additional space as
+   required" and "compacts as much as possible"; with a frozen core the
+   routed channel widths could be unrealizable. *)
+let resize_core p =
+  let prm = Placement.params p in
+  let nl = Placement.netlist p in
+  let total = ref 0 in
+  for ci = 0 to Netlist.n_cells nl - 1 do
+    List.iter
+      (fun r -> total := !total + Rect.area r)
+      (Placement.expanded_tiles p ci)
+  done;
+  let area = float_of_int !total /. prm.Params.fill_target in
+  let w = sqrt (area *. prm.Params.core_aspect) in
+  let h = area /. w in
+  let w = int_of_float (Float.round w) and h = int_of_float (Float.round h) in
+  let core =
+    Rect.make ~x0:(-(w / 2)) ~y0:(-(h / 2)) ~x1:(w - (w / 2)) ~y1:(h - (h / 2))
+  in
+  Placement.set_core p core
+
+let refine_once ~rng ?(final = false) p =
+  let route = channel_and_route ~rng p in
+  let exps = required_expansions p route in
+  Placement.set_expander p (Placement.Static exps);
+  resize_core p;
+  anneal ~rng ~final p;
+  let it =
+    { regions = Graph.n_nodes route.Router.graph;
+      graph_edges = Graph.n_edges route.Router.graph;
+      routed_nets = List.length route.Router.routed;
+      unroutable_nets = List.length route.Router.unroutable;
+      route_length = route.Router.total_length;
+      route_overflow = route.Router.overflow;
+      teil_after = Placement.teil p;
+      chip_after = Placement.chip_bbox p;
+      cost_after = Placement.total_cost p;
+      overlap_after = Placement.c2_raw p }
+  in
+  (it, route)
+
+let run ~rng (s1 : Stage1.result) =
+  let p = s1.Stage1.placement in
+  let prm = Placement.params p in
+  let n = max 1 prm.Params.refinement_iterations in
+  let iterations = ref [] in
+  for i = 1 to n do
+    let it, _route = refine_once ~rng ~final:(i = n) p in
+    iterations := it :: !iterations
+  done;
+  (* A final routing pass reflecting the refined placement. *)
+  let final_route = channel_and_route ~rng p in
+  { placement = p;
+    iterations = List.rev !iterations;
+    final_route = Some final_route;
+    teil = Placement.teil p;
+    chip = Placement.chip_bbox p }

@@ -1,0 +1,65 @@
+(** Stage 2 of TimberWolfMC (Sec 4): iterated placement refinement.
+
+    Each refinement execution performs the paper's three steps:
+
+    + {b channel definition} — extract all critical regions of the current
+      placement and build the channel graph (Sec 4.1);
+    + {b global routing} — route every net on that graph (Sec 4.2); the
+      routed densities give each channel's expected width
+      [w = (d + 2)·t_s] (Eqn 22);
+    + {b placement refinement} — expand each cell edge statically by half
+      its adjacent channels' required width and run a low-temperature
+      anneal (Table 2 schedule) from the temperature at which the
+      range-limiter window is the fraction μ = 0.03 of the core (Eqns
+      25–28).  Only single-cell displacements and pin moves are generated;
+      orientations and aspect ratios stay frozen (Sec 4.3).
+
+    Three executions suffice for the TEIL and chip area to converge; the
+    third run stops when the cost is unchanged for 3 consecutive inner
+    loops. *)
+
+type iteration = {
+  regions : int;  (** Critical regions found. *)
+  graph_edges : int;
+  routed_nets : int;
+  unroutable_nets : int;
+  route_length : int;  (** Total global-routing length [L]. *)
+  route_overflow : int;  (** Residual [X] after phase 2. *)
+  teil_after : float;
+  chip_after : Twmc_geometry.Rect.t;
+  cost_after : float;
+  overlap_after : float;
+}
+
+type result = {
+  placement : Twmc_place.Placement.t;
+  iterations : iteration list;
+  final_route : Twmc_route.Global_router.result option;
+      (** The last iteration's routing (the one reflecting the final
+          placement is re-run after the last refinement). *)
+  teil : float;
+  chip : Twmc_geometry.Rect.t;
+}
+
+val required_expansions :
+  Twmc_place.Placement.t ->
+  Twmc_route.Global_router.result ->
+  (int * int * int * int) array
+(** Per cell, the (left, right, bottom, top) static expansions: half of
+    [w = (d+2)·t_s] for the densest channel bordering each side, with a
+    one-track floor. *)
+
+val refine_once :
+  rng:Twmc_sa.Rng.t ->
+  ?final:bool ->
+  Twmc_place.Placement.t ->
+  iteration * Twmc_route.Global_router.result
+(** One channel-define / route / refine execution, mutating the placement.
+    [final] selects the frozen-cost stopping criterion. *)
+
+val run :
+  rng:Twmc_sa.Rng.t ->
+  Twmc_place.Stage1.result ->
+  result
+(** The full stage 2: [refinement_iterations] executions (from the
+    placement's params) followed by a final routing pass. *)

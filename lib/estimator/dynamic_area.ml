@@ -1,0 +1,60 @@
+open Twmc_netlist
+open Twmc_geometry
+
+type t = {
+  modulation : Modulation.t;
+  pin_density : Pin_density.t;
+  c_w : float;
+  inv_mean : float;  (* 1 / core-mean of f_x·f_y *)
+  core_w : float;
+  core_h : float;
+}
+
+let create ?beta ?(modulation = Modulation.default) ~core_w ~core_h nl =
+  if core_w <= 0 || core_h <= 0 then invalid_arg "Dynamic_area.create";
+  let core_wf = float_of_int core_w and core_hf = float_of_int core_h in
+  (* C_w is anchored to the reference die (see Wire_estimate.reference_dims);
+     only the positional modulation sees the actual core. *)
+  let ref_w, ref_h = Wire_estimate.reference_dims nl in
+  let c_w = Wire_estimate.channel_width ?beta ~core_w:ref_w ~core_h:ref_h nl in
+  { modulation;
+    pin_density = Pin_density.compute nl;
+    c_w;
+    inv_mean = 1.0 /. Modulation.alpha modulation;
+    core_w = core_wf;
+    core_h = core_hf }
+
+let c_w t = t.c_w
+let pin_density t = t.pin_density
+
+let raw_expansion t ~f_rp ~x ~y =
+  0.5 *. t.c_w *. t.inv_mean
+  *. Modulation.weight t.modulation ~core_w:t.core_w ~core_h:t.core_h ~x ~y
+  *. f_rp
+
+let edge_expansion t ~cell ~variant ~side ~x ~y =
+  let f_rp = Pin_density.f_rp t.pin_density ~cell ~variant side in
+  int_of_float (Float.round (raw_expansion t ~f_rp ~x ~y))
+
+let tile_expansions t ~cell ~variant (r : Rect.t) =
+  let fx0 = float_of_int r.Rect.x0
+  and fx1 = float_of_int r.Rect.x1
+  and fy0 = float_of_int r.Rect.y0
+  and fy1 = float_of_int r.Rect.y1 in
+  let xm = (fx0 +. fx1) /. 2.0 and ym = (fy0 +. fy1) /. 2.0 in
+  let e side ~x ~y = edge_expansion t ~cell ~variant ~side ~x ~y in
+  ( e Side.Left ~x:fx0 ~y:ym,
+    e Side.Right ~x:fx1 ~y:ym,
+    e Side.Bottom ~x:xm ~y:fy0,
+    e Side.Top ~x:xm ~y:fy1 )
+
+let expand_tile t ~cell ~variant r =
+  let left, right, bottom, top = tile_expansions t ~cell ~variant r in
+  Rect.expand r ~left ~right ~bottom ~top
+
+let center_expansion t =
+  let w =
+    Modulation.weight t.modulation ~core_w:t.core_w ~core_h:t.core_h ~x:0.0
+      ~y:0.0
+  in
+  int_of_float (Float.round (0.5 *. t.c_w *. t.inv_mean *. w))

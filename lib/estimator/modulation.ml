@@ -1,0 +1,21 @@
+type t = { mx : float; bx : float; my : float; by : float }
+
+let make ~mx ~bx ~my ~by =
+  if bx <= 0.0 || by <= 0.0 || mx < bx || my < by then
+    invalid_arg "Modulation.make: need 0 < B <= M";
+  { mx; bx; my; by }
+
+let default = make ~mx:2.0 ~bx:1.0 ~my:2.0 ~by:1.0
+
+let tent ~m ~b ~half_span v =
+  if half_span <= 0.0 then m
+  else
+    let v = Float.min (Float.abs v) half_span in
+    m -. (v *. ((m -. b) /. half_span))
+
+let fx t ~core_w x = tent ~m:t.mx ~b:t.bx ~half_span:(core_w /. 2.0) x
+let fy t ~core_h y = tent ~m:t.my ~b:t.by ~half_span:(core_h /. 2.0) y
+
+let alpha t = (t.mx +. t.bx) /. 2.0 *. ((t.my +. t.by) /. 2.0)
+
+let weight t ~core_w ~core_h ~x ~y = fx t ~core_w x *. fy t ~core_h y

@@ -1,0 +1,60 @@
+open Twmc_netlist
+open Twmc_geometry
+
+type t = {
+  d_p : float;
+  (* factors.(cell).(variant) maps a side to (density, f_rp). *)
+  factors : (Side.t * float * float) list array array;
+}
+
+let side_of_edge = Side.of_edge
+
+let compute (nl : Netlist.t) =
+  let d_p = Netlist.average_pin_density nl in
+  let factors =
+    Array.map
+      (fun (c : Cell.t) ->
+        Array.init (Cell.n_variants c) (fun vi ->
+            let v = Cell.variant c vi in
+            let edges = Array.of_list v.Cell.edges in
+            let pins_per_edge = Cell.static_pins_per_edge c ~variant:vi in
+            (* Aggregate edge pin counts and lengths per side. *)
+            let acc = Hashtbl.create 4 in
+            Array.iteri
+              (fun ei e ->
+                let side = side_of_edge e in
+                let pins, len =
+                  try Hashtbl.find acc side with Not_found -> (0.0, 0)
+                in
+                Hashtbl.replace acc side
+                  (pins +. pins_per_edge.(ei), len + Edge.length e))
+              edges;
+            Hashtbl.fold
+              (fun side (pins, len) l ->
+                let density =
+                  if len = 0 then 0.0 else pins /. float_of_int len
+                in
+                let f_rp =
+                  if d_p <= 0.0 then 1.0 else Float.max 1.0 (density /. d_p)
+                in
+                (side, density, f_rp) :: l)
+              acc []))
+      nl.Netlist.cells
+  in
+  { d_p; factors }
+
+let lookup t ~cell ~variant side =
+  let l = t.factors.(cell).(variant) in
+  List.find_opt (fun (s, _, _) -> Side.equal s side) l
+
+let d_p t = t.d_p
+
+let f_rp t ~cell ~variant side =
+  match lookup t ~cell ~variant side with
+  | Some (_, _, f) -> f
+  | None -> 1.0
+
+let side_density t ~cell ~variant side =
+  match lookup t ~cell ~variant side with
+  | Some (_, d, _) -> d
+  | None -> 0.0

@@ -1,0 +1,7 @@
+(** Interconnect-area estimation (Sec 2.2 of the paper). *)
+
+module Modulation = Modulation
+module Wire_estimate = Wire_estimate
+module Pin_density = Pin_density
+module Dynamic_area = Dynamic_area
+module Core_area = Core_area

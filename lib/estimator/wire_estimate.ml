@@ -1,0 +1,37 @@
+open Twmc_netlist
+
+let expected_span_fraction k =
+  if k < 2 then invalid_arg "Wire_estimate.expected_span_fraction: k < 2";
+  float_of_int (k - 1) /. float_of_int (k + 1)
+
+let default_beta = 0.35
+
+let reference_dims (nl : Netlist.t) =
+  let side = sqrt (2.0 *. float_of_int (Netlist.total_cell_area nl)) in
+  (side, side)
+
+let total_length ?(beta = default_beta) ~core_w ~core_h (nl : Netlist.t) =
+  Array.fold_left
+    (fun acc (n : Net.t) ->
+      let k = Net.n_pins n in
+      if k < 2 then acc
+      else
+        let f = expected_span_fraction k in
+        acc +. (beta *. f *. ((core_w *. n.Net.hweight) +. (core_h *. n.Net.vweight))))
+    0.0 nl.Netlist.nets
+
+let total_channel_length (nl : Netlist.t) =
+  let open Twmc_geometry in
+  let perim =
+    Array.fold_left
+      (fun acc (c : Cell.t) ->
+        acc + Shape.perimeter (Cell.variant c 0).Cell.shape)
+      0 nl.Netlist.cells
+  in
+  float_of_int perim /. 2.0
+
+let channel_width ?beta ~core_w ~core_h (nl : Netlist.t) =
+  let n_l = total_length ?beta ~core_w ~core_h nl in
+  let c_l = total_channel_length nl in
+  if c_l <= 0.0 then 0.0
+  else n_l /. c_l *. float_of_int nl.Netlist.track_spacing

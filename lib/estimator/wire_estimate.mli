@@ -1,0 +1,40 @@
+(** A-priori estimate of the final total interconnect length [N_L] and of the
+    total channel length [C_L] (the inputs of Eqn 1).
+
+    The paper takes these from the average-interconnection-length theory of
+    Sechen's dissertation (Ch 5) and ICCAD'87 paper, which we do not have;
+    the substitution (recorded in DESIGN.md) is the standard random-placement
+    expectation with an optimization factor: for a net of [k] pins placed
+    uniformly at random in a [W × H] core, the expected horizontal span is
+    [W · (k-1)/(k+1)] and vertically [H · (k-1)/(k+1)]; an optimized
+    placement achieves a fraction [beta] of the random length (default 0.35,
+    in line with published random-vs-optimized ratios for this class of
+    circuit).  [C_L] is estimated as half the total cell perimeter, since
+    every channel is bordered by two cell edges. *)
+
+val expected_span_fraction : int -> float
+(** [(k-1)/(k+1)] for a [k]-pin net ([k >= 2]). *)
+
+val reference_dims : Twmc_netlist.Netlist.t -> float * float
+(** The reference die the a-priori estimate is evaluated on: a square of
+    twice the total cell area.  Anchoring [N_L] to circuit statistics
+    rather than the evolving core breaks the positive feedback loop
+    (bigger core → longer estimate → wider channels → bigger core) that
+    the iterative core sizing would otherwise amplify on high-pin-density
+    circuits. *)
+
+val total_length :
+  ?beta:float -> core_w:float -> core_h:float -> Twmc_netlist.Netlist.t -> float
+(** [N_L]: summed expected net lengths, weighted by each net's h/v weights
+    so the estimate tracks the TEIC the annealer actually minimizes. *)
+
+val total_channel_length : Twmc_netlist.Netlist.t -> float
+(** [C_L]: half the total boundary perimeter of all cells. *)
+
+val channel_width :
+  ?beta:float ->
+  core_w:float ->
+  core_h:float ->
+  Twmc_netlist.Netlist.t ->
+  float
+(** [C_w = N_L / C_L · t_s] (Eqn 1). *)

@@ -1,0 +1,75 @@
+module Modulation = Twmc_estimator.Modulation
+module Schedule = Twmc_sa.Schedule
+module Range_limiter = Twmc_place.Range_limiter
+
+let fig1 ?out_csv ppf =
+  let m = Modulation.default in
+  let w = 1000.0 and h = 1000.0 in
+  let weight x y = Modulation.weight m ~core_w:w ~core_h:h ~x ~y in
+  let samples =
+    [ ("e1 corner (~Bx*By)", weight (-480.0) (-480.0));
+      ("e2 center (~Mx*My)", weight 0.0 0.0);
+      ("e3 mid-left (~Bx*My)", weight (-480.0) 0.0);
+      ("e4 mid-bottom (~Mx*By)", weight 0.0 (-480.0));
+      ("e5 corner (~Bx*By)", weight 480.0 480.0) ]
+  in
+  let header = [ "edge"; "fx*fy" ] in
+  let rows = List.map (fun (l, v) -> [ l; Printf.sprintf "%.3f" v ]) samples in
+  Format.fprintf ppf
+    "Figure 1 — modulation weights (M=2, B=1: corner~1, mid-side~2, \
+     center~4)@.";
+  Report.table ~header ~rows ppf;
+  (match out_csv with
+  | Some path -> Report.write_csv ~path ~header ~rows
+  | None -> ());
+  samples
+
+let fig4 ?out_csv ppf =
+  let t_inf = 1e5 in
+  let w_inf = 4096.0 in
+  let lim =
+    Range_limiter.create ~rho:4.0 ~t_inf ~wx_inf:w_inf ~wy_inf:w_inf
+      ~min_window:2
+  in
+  let temps =
+    [ 1e5; 3e4; 1e4; 3e3; 1e3; 3e2; 1e2; 3e1; 1e1; 3e0; 1e0 ]
+  in
+  let points =
+    List.map
+      (fun t ->
+        let wx, _ = Range_limiter.window lim ~temp:t in
+        (t, wx /. w_inf))
+      temps
+  in
+  let header = [ "T"; "window_span/W_inf" ] in
+  let rows =
+    List.map
+      (fun (t, w) -> [ Printf.sprintf "%g" t; Printf.sprintf "%.4f" w ])
+      points
+  in
+  Format.fprintf ppf
+    "Figure 4 — range-limiter window span vs T (rho=4, T_inf=1e5)@.";
+  Report.table ~header ~rows ppf;
+  (match out_csv with
+  | Some path -> Report.write_csv ~path ~header ~rows
+  | None -> ());
+  points
+
+let schedules ppf =
+  Format.fprintf ppf "Table 1 — stage-1 cooling schedule (S_T = 1):@.";
+  Report.table
+    ~header:[ "T_old >="; "alpha" ]
+    ~rows:
+      [ [ "7000"; "0.85" ]; [ "200"; "0.92" ]; [ "10"; "0.85" ]; [ "0"; "0.80" ] ]
+    ppf;
+  Format.fprintf ppf "Table 2 — stage-2 cooling schedule (S_T = 1):@.";
+  Report.table
+    ~header:[ "T_old >="; "alpha" ]
+    ~rows:[ [ "10"; "0.82" ]; [ "0"; "0.70" ] ]
+    ppf;
+  let sched = Schedule.stage1 ~s_t:1.0 in
+  let steps = Schedule.n_steps sched ~t_start:1e5 ~t_final:1.0 in
+  Format.fprintf ppf
+    "self-check: stage-1 profile visits %d temperatures over 5 decades \
+     (paper: ~120 over ~6 decades)@."
+    steps

@@ -1,0 +1,17 @@
+(** The small illustrative figures and configuration tables.
+
+    - {b Figure 1}: modulation-function weights at characteristic channel
+      positions (corner ≈ B², mid-side ≈ M·B, center ≈ M²);
+    - {b Figure 4}: range-limiter window span as a function of temperature;
+    - {b Tables 1–2}: the cooling schedules, with a self-check that the
+      stage-1 profile visits roughly the paper's ≈120 temperatures over ≈6
+      decades. *)
+
+val fig1 : ?out_csv:string -> Format.formatter -> (string * float) list
+(** Weights [f_x·f_y] at the five Fig 1 edge positions, M = 2, B = 1. *)
+
+val fig4 : ?out_csv:string -> Format.formatter -> (float * float) list
+(** (T, window span) series for ρ = 4, T∞ = 10⁵ and a unit core. *)
+
+val schedules : Format.formatter -> unit
+(** Prints Tables 1 and 2 and the step-count self-check. *)

@@ -1,0 +1,16 @@
+(** Table/CSV rendering helpers shared by the experiment drivers. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit
+(** Fixed-width text table with a rule under the header. *)
+
+val csv_string : header:string list -> rows:string list list -> string
+
+val write_csv : path:string -> header:string list -> rows:string list list -> unit
+(** Creates parent directories as needed. *)
+
+val pct : float -> string
+(** One-decimal percentage. *)
+
+val f0 : float -> string
+(** Rounded float, no decimals. *)

@@ -1,0 +1,22 @@
+(** Table 3 — dynamic interconnect-area estimator accuracy.
+
+    For each circuit, several trials of the full flow; the reported
+    quantities are the average percent {e reduction} from the end of stage 1
+    to the end of stage 2 in TEIL and in core area.  The paper's claim: both
+    changes are small (avg +4.4 % TEIL reduction, ±single-digit area
+    change), i.e. stage-1's estimates already match what routing demands. *)
+
+type row = {
+  circuit : string;
+  n_cells : int;
+  n_nets : int;
+  n_pins : int;
+  trials : int;
+  teil_reduction_pct : float;  (** Positive = stage 2 improved TEIL. *)
+  area_reduction_pct : float;
+  paper_teil_reduction_pct : float;
+  paper_area_reduction_pct : float;
+}
+
+val run : ?out_csv:string -> Profile.t -> Format.formatter -> row list
+(** Prints the table (measured vs paper) and returns the rows. *)

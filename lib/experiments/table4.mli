@@ -1,0 +1,29 @@
+(** Table 4 — TimberWolfMC versus other placement methods.
+
+    For each circuit, the flow runs once per profile seed and the three
+    baseline placers run once; the reported reductions compare
+    TimberWolfMC's best TEIL/area against the {e best} baseline's (a
+    conservative stand-in for the paper's per-circuit industrial/manual
+    comparators — see DESIGN.md).  The paper's claim: TEIL reductions of
+    8–49 % (avg 24.9) and area reductions of 4–56 % (avg 26.9). *)
+
+type row = {
+  circuit : string;
+  n_cells : int;
+  n_nets : int;
+  n_pins : int;
+  twmc_teil : float;
+  twmc_area : int;
+  chip_w : int;
+  chip_h : int;
+  best_baseline_teil : float;
+  best_baseline_teil_name : string;
+  best_baseline_area : int;
+  best_baseline_area_name : string;
+  teil_reduction_pct : float;
+  area_reduction_pct : float;
+  paper_teil_reduction_pct : float;
+  paper_area_reduction_pct : float option;
+}
+
+val run : ?out_csv:string -> Profile.t -> Format.formatter -> row list

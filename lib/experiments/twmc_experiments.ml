@@ -1,0 +1,11 @@
+(** Reproduction drivers for every table and figure in the paper's
+    evaluation (see DESIGN.md for the per-experiment index). *)
+
+module Profile = Profile
+module Report = Report
+module Table3 = Table3
+module Table4 = Table4
+module Fig3 = Fig3
+module Fig56 = Fig56
+module Ablations = Ablations
+module Figures = Figures

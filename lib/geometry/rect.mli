@@ -1,0 +1,64 @@
+(** Axis-aligned integer rectangles, half-open on the high edges:
+    a rectangle occupies the grid points [x0, x1) × [y0, y1).
+
+    Rectangles are the tiles of Eqn 8 in the paper: a rectilinear cell is a
+    union of non-overlapping rectangles, and the overlap penalty [C2] is a
+    double sum of pairwise tile intersections. *)
+
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+val make : x0:int -> y0:int -> x1:int -> y1:int -> t
+(** Raises [Invalid_argument] when [x0 > x1] or [y0 > y1].  Degenerate
+    (zero-width or zero-height) rectangles are allowed; they are empty. *)
+
+val of_corners : (int * int) -> (int * int) -> t
+(** [of_corners (xa, ya) (xb, yb)] normalizes the two corners. *)
+
+val of_center_dims : cx:int -> cy:int -> w:int -> h:int -> t
+(** Rectangle of width [w], height [h] centered as closely as possible on
+    [(cx, cy)] (exact when [w] and [h] are even). *)
+
+val empty : t
+val is_empty : t -> bool
+val width : t -> int
+val height : t -> int
+val area : t -> int
+val center : t -> int * int
+
+val xspan : t -> Interval.t
+val yspan : t -> Interval.t
+
+val inter : t -> t -> t
+val inter_area : t -> t -> int
+val overlaps : t -> t -> bool
+(** Positive-area overlap; rectangles that merely share an edge do not
+    overlap. *)
+
+val touches : t -> t -> bool
+(** True when the closed rectangles intersect (sharing an edge or a corner
+    counts).  Used to connect adjacent critical regions in the channel
+    graph. *)
+
+val contains_point : t -> int * int -> bool
+val contains_rect : t -> t -> bool
+val hull : t -> t -> t
+
+val translate : t -> dx:int -> dy:int -> t
+
+val expand : t -> left:int -> right:int -> bottom:int -> top:int -> t
+(** Per-side outward expansion; this is how the dynamic interconnect-area
+    estimate of Eqn 2 is applied to a tile before overlap is computed.
+    Negative amounts shrink the side; the result is clamped to empty if it
+    inverts. *)
+
+val expand_uniform : t -> int -> t
+
+val disjoint_union_area : t list -> int
+(** Total area of a list of pairwise-disjoint rectangles (asserts
+    disjointness in debug builds). *)
+
+val pairwise_disjoint : t list -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

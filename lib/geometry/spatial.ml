@@ -1,0 +1,94 @@
+type 'a entry = { key : 'a; rect : Rect.t }
+
+type 'a t = {
+  world : Rect.t;
+  cell_size : int;
+  nx : int;
+  ny : int;
+  bins : 'a entry list array;
+  mutable count : int;
+}
+
+let create ~world ~cell_size =
+  if cell_size <= 0 then invalid_arg "Spatial.create: cell_size <= 0";
+  if Rect.is_empty world then invalid_arg "Spatial.create: empty world";
+  let nx = max 1 ((Rect.width world + cell_size - 1) / cell_size)
+  and ny = max 1 ((Rect.height world + cell_size - 1) / cell_size) in
+  { world; cell_size; nx; ny; bins = Array.make (nx * ny) []; count = 0 }
+
+let clamp lo hi v = max lo (min hi v)
+
+(* Inclusive bin-index ranges covered by a rectangle, clamped into the grid.
+   The high edges use [x1]/[y1] themselves (not minus one) so that touching
+   rectangles always share a bin. *)
+let bin_range t (r : Rect.t) =
+  let ix0 = clamp 0 (t.nx - 1) ((r.Rect.x0 - t.world.Rect.x0) / t.cell_size)
+  and ix1 = clamp 0 (t.nx - 1) ((r.Rect.x1 - t.world.Rect.x0) / t.cell_size)
+  and iy0 = clamp 0 (t.ny - 1) ((r.Rect.y0 - t.world.Rect.y0) / t.cell_size)
+  and iy1 = clamp 0 (t.ny - 1) ((r.Rect.y1 - t.world.Rect.y0) / t.cell_size) in
+  (ix0, ix1, iy0, iy1)
+
+let iter_bins t r f =
+  let ix0, ix1, iy0, iy1 = bin_range t r in
+  for iy = iy0 to iy1 do
+    for ix = ix0 to ix1 do
+      f ((iy * t.nx) + ix)
+    done
+  done
+
+let insert t key rect =
+  iter_bins t rect (fun i -> t.bins.(i) <- { key; rect } :: t.bins.(i));
+  t.count <- t.count + 1
+
+let remove t key rect =
+  let removed = ref false in
+  iter_bins t rect (fun i ->
+      let rec drop = function
+        | [] -> invalid_arg "Spatial.remove: entry not present"
+        | e :: rest when e.key = key && Rect.equal e.rect rect ->
+            removed := true;
+            rest
+        | e :: rest -> e :: drop rest
+      in
+      t.bins.(i) <- drop t.bins.(i));
+  if not !removed then invalid_arg "Spatial.remove: entry not present";
+  t.count <- t.count - 1
+
+let query t rect =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  iter_bins t rect (fun i ->
+      List.iter
+        (fun e ->
+          if Rect.touches e.rect rect && not (Hashtbl.mem seen e.key) then (
+            Hashtbl.add seen e.key ();
+            acc := e.key :: !acc))
+        t.bins.(i));
+  !acc
+
+(* The owner bin of a touching pair is the smallest-index bin common to both
+   rectangles' bin ranges; reporting the pair only from its owner makes
+   [iter_pairs] visit each pair exactly once. *)
+let owner_bin t a b =
+  let ax0, ax1, ay0, ay1 = bin_range t a and bx0, bx1, by0, by1 = bin_range t b in
+  let ix = max ax0 bx0 and iy = max ay0 by0 in
+  assert (ix <= min ax1 bx1 && iy <= min ay1 by1);
+  (iy * t.nx) + ix
+
+let iter_pairs t f =
+  Array.iteri
+    (fun bin entries ->
+      let rec go = function
+        | [] -> ()
+        | e :: rest ->
+            List.iter
+              (fun e' ->
+                if Rect.touches e.rect e'.rect && owner_bin t e.rect e'.rect = bin
+                then f e.key e.rect e'.key e'.rect)
+              rest;
+            go rest
+      in
+      go entries)
+    t.bins
+
+let length t = t.count

@@ -1,0 +1,30 @@
+(** Uniform-grid spatial index over integer rectangles.
+
+    The overlap penalty [C2] only needs the pairs of cells whose expanded
+    bounding boxes intersect; with tens of cells a quadratic scan would do,
+    but the index keeps move evaluation O(neighbours) and is reused by the
+    channel-definition empty-space test. *)
+
+type 'a t
+
+val create : world:Rect.t -> cell_size:int -> 'a t
+(** [create ~world ~cell_size] indexes rectangles clipped against [world];
+    objects extending outside [world] are clamped into the boundary bins so
+    they are still found.  [cell_size] must be positive. *)
+
+val insert : 'a t -> 'a -> Rect.t -> unit
+(** Multiple inserts of the same key accumulate; pair with [remove]. *)
+
+val remove : 'a t -> 'a -> Rect.t -> unit
+(** Removes one occurrence of [key] previously inserted with the same
+    rectangle.  Raises [Invalid_argument] if absent. *)
+
+val query : 'a t -> Rect.t -> 'a list
+(** All keys whose insertion rectangle intersects (touching counts) the query
+    rectangle; deduplicated, order unspecified. *)
+
+val iter_pairs : 'a t -> ('a -> Rect.t -> 'a -> Rect.t -> unit) -> unit
+(** Visits every unordered pair of distinct stored objects whose rectangles
+    touch, exactly once. *)
+
+val length : 'a t -> int

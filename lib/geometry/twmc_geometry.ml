@@ -1,0 +1,8 @@
+(** Geometry substrate for the TimberWolfMC reproduction. *)
+
+module Interval = Interval
+module Rect = Rect
+module Orient = Orient
+module Edge = Edge
+module Shape = Shape
+module Spatial = Spatial

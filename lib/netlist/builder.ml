@@ -1,0 +1,131 @@
+type pin_spec = {
+  pin_name : string;
+  net_name : string;
+  equiv : int option;
+  group : int option;
+  seq : int option;
+  where : where;
+}
+
+and where = At of int * int | On of Pin.edge_restriction
+
+type cell_spec =
+  | Macro_spec of { name : string; shape : Twmc_geometry.Shape.t; pins : pin_spec list }
+  | Custom_spec of {
+      name : string;
+      area : int;
+      aspect_lo : float;
+      aspect_hi : float;
+      n_variants : int option;
+      sites_per_edge : int option;
+      pins : pin_spec list;
+    }
+  | Instances_spec of {
+      name : string;
+      shapes : Twmc_geometry.Shape.t list;
+      sites_per_edge : int option;
+      pins : pin_spec list;
+    }
+
+type t = {
+  name : string;
+  track_spacing : int;
+  mutable cells : cell_spec list;  (* reversed *)
+  net_ids : (string, int) Hashtbl.t;
+  mutable net_names : string list;  (* reversed *)
+  weights : (string, float * float) Hashtbl.t;
+}
+
+let at ?equiv ~name ~net (x, y) =
+  { pin_name = name; net_name = net; equiv; group = None; seq = None;
+    where = At (x, y) }
+
+let on ?equiv ?group ?seq ~name ~net restriction =
+  { pin_name = name; net_name = net; equiv; group; seq; where = On restriction }
+
+let create ~name ~track_spacing =
+  { name; track_spacing; cells = []; net_ids = Hashtbl.create 64;
+    net_names = []; weights = Hashtbl.create 16 }
+
+let net_id t name =
+  match Hashtbl.find_opt t.net_ids name with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length t.net_ids in
+      Hashtbl.add t.net_ids name i;
+      t.net_names <- name :: t.net_names;
+      i
+
+let register_pins t pins =
+  (* Resolve net ids eagerly so net ordering follows declaration order. *)
+  List.iter (fun p -> ignore (net_id t p.net_name)) pins
+
+let add_macro t ~name ~shape ~pins =
+  register_pins t pins;
+  t.cells <- Macro_spec { name; shape; pins } :: t.cells
+
+let add_custom t ~name ~area ~aspect_lo ~aspect_hi ?n_variants ?sites_per_edge
+    ~pins () =
+  register_pins t pins;
+  t.cells <-
+    Custom_spec { name; area; aspect_lo; aspect_hi; n_variants; sites_per_edge; pins }
+    :: t.cells
+
+let add_custom_instances t ~name ~shapes ?sites_per_edge ~pins () =
+  register_pins t pins;
+  t.cells <- Instances_spec { name; shapes; sites_per_edge; pins } :: t.cells
+
+let set_net_weight t ~net ~h ~v = Hashtbl.replace t.weights net (h, v)
+
+let to_pin t (spec : pin_spec) =
+  let net = net_id t spec.net_name in
+  match spec.where with
+  | At (x, y) -> Pin.fixed ~name:spec.pin_name ~net ?equiv:spec.equiv ~x ~y ()
+  | On restriction ->
+      Pin.uncommitted ~name:spec.pin_name ~net ?equiv:spec.equiv
+        ?group:spec.group ?seq:spec.seq restriction
+
+let build t =
+  let cell_specs = List.rev t.cells in
+  let cells =
+    List.map
+      (fun spec ->
+        match spec with
+        | Macro_spec { name; shape; pins } ->
+            Cell.macro ~name ~shape ~pins:(List.map (to_pin t) pins)
+        | Custom_spec { name; area; aspect_lo; aspect_hi; n_variants;
+                        sites_per_edge; pins } ->
+            Cell.custom ~name ~area ~aspect_lo ~aspect_hi ?n_variants
+              ?sites_per_edge ~track_spacing:t.track_spacing
+              ~pins:(List.map (to_pin t) pins) ()
+        | Instances_spec { name; shapes; sites_per_edge; pins } ->
+            Cell.custom_instances ~name ~shapes ?sites_per_edge
+              ~track_spacing:t.track_spacing ~pins:(List.map (to_pin t) pins) ())
+      cell_specs
+  in
+  Hashtbl.iter
+    (fun net _ ->
+      if not (Hashtbl.mem t.net_ids net) then
+        invalid_arg
+          (Printf.sprintf "Builder.build %s: weight for unknown net %s" t.name net))
+    t.weights;
+  let n_nets = Hashtbl.length t.net_ids in
+  let refs = Array.make n_nets [] in
+  List.iteri
+    (fun ci (c : Cell.t) ->
+      Array.iteri
+        (fun pi (p : Pin.t) ->
+          refs.(p.Pin.net) <- { Net.cell = ci; pin = pi } :: refs.(p.Pin.net))
+        c.Cell.pins)
+    cells;
+  let names = Array.of_list (List.rev t.net_names) in
+  let nets =
+    List.init n_nets (fun i ->
+        let hweight, vweight =
+          match Hashtbl.find_opt t.weights names.(i) with
+          | Some (h, v) -> (h, v)
+          | None -> (1.0, 1.0)
+        in
+        Net.make ~name:names.(i) ~hweight ~vweight (List.rev refs.(i)))
+  in
+  Netlist.make ~name:t.name ~track_spacing:t.track_spacing ~cells ~nets

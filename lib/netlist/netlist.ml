@@ -1,0 +1,86 @@
+open Twmc_geometry
+
+type t = {
+  name : string;
+  track_spacing : int;
+  cells : Cell.t array;
+  nets : Net.t array;
+  nets_of_cell : int list array;
+}
+
+let validate ~name cells nets =
+  let fail fmt = Format.kasprintf invalid_arg ("Netlist %s: " ^^ fmt) name in
+  Array.iteri
+    (fun ni (net : Net.t) ->
+      if Array.length net.Net.pins < 2 then
+        fail "net %s has fewer than 2 pins" net.Net.name;
+      Array.iter
+        (fun (r : Net.pin_ref) ->
+          if r.Net.cell < 0 || r.Net.cell >= Array.length cells then
+            fail "net %s references cell %d out of range" net.Net.name r.Net.cell;
+          let c = cells.(r.Net.cell) in
+          if r.Net.pin < 0 || r.Net.pin >= Cell.n_pins c then
+            fail "net %s references pin %d out of range on cell %s"
+              net.Net.name r.Net.pin c.Cell.name;
+          let p = c.Cell.pins.(r.Net.pin) in
+          if p.Pin.net <> ni then
+            fail "pin %s.%s has net %d but is referenced by net %d"
+              c.Cell.name p.Pin.name p.Pin.net ni)
+        net.Net.pins)
+    nets;
+  Array.iter
+    (fun (c : Cell.t) ->
+      Array.iter
+        (fun (p : Pin.t) ->
+          if p.Pin.net < 0 || p.Pin.net >= Array.length nets then
+            fail "pin %s.%s has out-of-range net %d" c.Cell.name p.Pin.name
+              p.Pin.net)
+        c.Cell.pins)
+    cells
+
+let make ~name ~track_spacing ~cells ~nets =
+  if track_spacing <= 0 then invalid_arg "Netlist.make: track_spacing <= 0";
+  let cells = Array.of_list cells and nets = Array.of_list nets in
+  validate ~name cells nets;
+  let nets_of_cell = Array.make (Array.length cells) [] in
+  Array.iteri
+    (fun ni (net : Net.t) ->
+      Array.iter
+        (fun (r : Net.pin_ref) ->
+          let l = nets_of_cell.(r.Net.cell) in
+          if not (List.mem ni l) then nets_of_cell.(r.Net.cell) <- ni :: l)
+        net.Net.pins)
+    nets;
+  { name; track_spacing; cells; nets; nets_of_cell }
+
+let n_cells t = Array.length t.cells
+let n_nets t = Array.length t.nets
+
+let total_pins t =
+  Array.fold_left (fun acc c -> acc + Cell.n_pins c) 0 t.cells
+
+let cell_index t name =
+  let found = ref (-1) in
+  Array.iteri (fun i (c : Cell.t) -> if c.Cell.name = name then found := i) t.cells;
+  if !found < 0 then raise Not_found else !found
+
+let net_index t name =
+  let found = ref (-1) in
+  Array.iteri (fun i (n : Net.t) -> if n.Net.name = name then found := i) t.nets;
+  if !found < 0 then raise Not_found else !found
+
+let total_cell_area t =
+  Array.fold_left (fun acc c -> acc + Cell.base_area c) 0 t.cells
+
+let average_pin_density t =
+  let pins = total_pins t in
+  let perim =
+    Array.fold_left
+      (fun acc (c : Cell.t) -> acc + Shape.perimeter (Cell.variant c 0).Cell.shape)
+      0 t.cells
+  in
+  if perim = 0 then 0.0 else float_of_int pins /. float_of_int perim
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d cells, %d nets, %d pins, area=%d, ts=%d" t.name
+    (n_cells t) (n_nets t) (total_pins t) (total_cell_area t) t.track_spacing

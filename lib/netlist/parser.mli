@@ -1,0 +1,45 @@
+(** Parser for the textual netlist format (.twn).
+
+    The format is line-oriented:
+
+    {v
+    # comment
+    circuit NAME
+    track_spacing 2
+    net CLK weight 2.0 1.0
+
+    cell ram macro
+      tile 0 0 100 80
+      tile 0 80 60 120
+      pin a net CLK at 10 0
+      pin b net D0 at 100 10 equiv 1
+    end
+
+    cell alu custom area 5000 aspect 0.5 2.0 variants 5 sites 8
+      pin x net CLK on any
+      pin y net D0 on left,top group 1 seq 0
+    end
+
+    cell pad instances sites 8
+      shape rect 40 30
+      shape l 40 30 10 10
+      instance
+        tile 0 0 40 10
+        tile 0 10 15 30
+      endinstance
+      pin p net D0 on any
+    end
+    v}
+
+    [tile] coordinates and pin [at] locations share one frame per cell; the
+    cell is re-centered internally.  Sides in [on] are comma-separated from
+    {v left right bottom top v}, or the word [any].  Inside an [instances]
+    cell, a candidate geometry is either a [shape] one-liner
+    ([rect w h] | [l w h nw nh] | [t w h sw sh] | [u w h nw nh]) or an
+    [instance] … [endinstance] block of raw tiles (what {!Writer} emits). *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : string -> Netlist.t
+val parse_file : string -> Netlist.t

@@ -1,0 +1,27 @@
+type t = Left | Right | Bottom | Top
+
+let all = [ Left; Right; Bottom; Top ]
+
+let to_string = function
+  | Left -> "left"
+  | Right -> "right"
+  | Bottom -> "bottom"
+  | Top -> "top"
+
+let of_string = function
+  | "left" -> Some Left
+  | "right" -> Some Right
+  | "bottom" -> Some Bottom
+  | "top" -> Some Top
+  | _ -> None
+
+let equal (a : t) b = a = b
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let of_edge (e : Twmc_geometry.Edge.t) =
+  let open Twmc_geometry.Edge in
+  match (e.dir, e.side) with
+  | V, Low -> Left
+  | V, High -> Right
+  | H, Low -> Bottom
+  | H, High -> Top

@@ -1,0 +1,16 @@
+(** The four sides of a rectangular custom cell, used to restrict pin
+    placement ("a pin may be assigned to a particular edge or edges of a
+    cell", Sec 2.4). *)
+
+type t = Left | Right | Bottom | Top
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val of_edge : Twmc_geometry.Edge.t -> t
+(** Side of a boundary edge from its direction and outward side: a [V]/[Low]
+    edge is [Left], [V]/[High] is [Right], [H]/[Low] is [Bottom], [H]/[High]
+    is [Top]. *)

@@ -1,0 +1,58 @@
+open Twmc_geometry
+
+type t = {
+  n_cells : int;
+  n_macro : int;
+  n_custom : int;
+  n_nets : int;
+  n_pins : int;
+  avg_pins_per_net : float;
+  total_cell_area : int;
+  avg_cell_area : float;
+  total_perimeter : int;
+  avg_pin_density : float;
+  max_net_degree : int;
+}
+
+let of_netlist (nl : Netlist.t) =
+  let n_cells = Netlist.n_cells nl in
+  let n_macro =
+    Array.fold_left
+      (fun acc (c : Cell.t) ->
+        acc + match c.Cell.kind with Cell.Macro -> 1 | Cell.Custom -> 0)
+      0 nl.Netlist.cells
+  in
+  let n_pins = Netlist.total_pins nl in
+  let n_nets = Netlist.n_nets nl in
+  let total_cell_area = Netlist.total_cell_area nl in
+  let total_perimeter =
+    Array.fold_left
+      (fun acc (c : Cell.t) -> acc + Shape.perimeter (Cell.variant c 0).Cell.shape)
+      0 nl.Netlist.cells
+  in
+  let max_net_degree =
+    Array.fold_left (fun acc n -> max acc (Net.n_pins n)) 0 nl.Netlist.nets
+  in
+  { n_cells;
+    n_macro;
+    n_custom = n_cells - n_macro;
+    n_nets;
+    n_pins;
+    avg_pins_per_net =
+      (if n_nets = 0 then 0.0 else float_of_int n_pins /. float_of_int n_nets);
+    total_cell_area;
+    avg_cell_area =
+      (if n_cells = 0 then 0.0
+       else float_of_int total_cell_area /. float_of_int n_cells);
+    total_perimeter;
+    avg_pin_density = Netlist.average_pin_density nl;
+    max_net_degree }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>cells: %d (%d macro, %d custom)@,nets: %d (max degree %d)@,\
+     pins: %d (%.2f per net)@,cell area: %d (avg %.1f)@,\
+     perimeter: %d, pin density D_p: %.4f@]"
+    s.n_cells s.n_macro s.n_custom s.n_nets s.max_net_degree s.n_pins
+    s.avg_pins_per_net s.total_cell_area s.avg_cell_area s.total_perimeter
+    s.avg_pin_density

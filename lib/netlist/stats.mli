@@ -1,0 +1,20 @@
+(** Summary statistics for a netlist — the "No. Cells / No. Nets / No. Pins"
+    columns of Tables 3 and 4, plus the quantities the interconnect-area
+    estimator precomputes. *)
+
+type t = {
+  n_cells : int;
+  n_macro : int;
+  n_custom : int;
+  n_nets : int;
+  n_pins : int;
+  avg_pins_per_net : float;
+  total_cell_area : int;
+  avg_cell_area : float;
+  total_perimeter : int;
+  avg_pin_density : float;  (** [D_p] of Sec 2.2. *)
+  max_net_degree : int;
+}
+
+val of_netlist : Netlist.t -> t
+val pp : Format.formatter -> t -> unit

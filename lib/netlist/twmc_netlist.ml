@@ -1,0 +1,12 @@
+(** Netlist data model for the TimberWolfMC reproduction. *)
+
+module Side = Side
+module Pin = Pin
+module Pin_site = Pin_site
+module Cell = Cell
+module Net = Net
+module Netlist = Netlist
+module Builder = Builder
+module Parser = Parser
+module Writer = Writer
+module Stats = Stats

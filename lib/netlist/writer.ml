@@ -1,0 +1,73 @@
+open Twmc_geometry
+
+let pp_pin nets buf (p : Pin.t) =
+  let net = nets.(p.Pin.net) in
+  let opt tag = function
+    | None -> ""
+    | Some v -> Printf.sprintf " %s %d" tag v
+  in
+  match p.Pin.loc with
+  | Pin.Fixed (x, y) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  pin %s net %s at %d %d%s\n" p.Pin.name net x y
+           (opt "equiv" p.Pin.equiv))
+  | Pin.Uncommitted restriction ->
+      let where =
+        match restriction with
+        | Pin.Any_edge -> "any"
+        | Pin.Sides sides -> String.concat "," (List.map Side.to_string sides)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  pin %s net %s on %s%s%s%s\n" p.Pin.name net where
+           (opt "equiv" p.Pin.equiv) (opt "group" p.Pin.group)
+           (opt "seq" p.Pin.seq))
+
+let pp_tiles buf ~indent shape =
+  List.iter
+    (fun (r : Rect.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%stile %d %d %d %d\n" indent r.Rect.x0 r.Rect.y0
+           r.Rect.x1 r.Rect.y1))
+    (Shape.tiles shape)
+
+let to_string (nl : Netlist.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "circuit %s\n" nl.Netlist.name);
+  Buffer.add_string buf
+    (Printf.sprintf "track_spacing %d\n" nl.Netlist.track_spacing);
+  Array.iter
+    (fun (n : Net.t) ->
+      if n.Net.hweight <> 1.0 || n.Net.vweight <> 1.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "net %s weight %g %g\n" n.Net.name n.Net.hweight
+             n.Net.vweight))
+    nl.Netlist.nets;
+  let net_names =
+    Array.map (fun (n : Net.t) -> n.Net.name) nl.Netlist.nets
+  in
+  Array.iter
+    (fun (c : Cell.t) ->
+      Buffer.add_char buf '\n';
+      (match c.Cell.kind with
+      | Cell.Macro ->
+          Buffer.add_string buf (Printf.sprintf "cell %s macro\n" c.Cell.name);
+          pp_tiles buf ~indent:"  " (Cell.variant c 0).Cell.shape
+      | Cell.Custom ->
+          Buffer.add_string buf
+            (Printf.sprintf "cell %s instances\n" c.Cell.name);
+          Array.iter
+            (fun (v : Cell.variant) ->
+              Buffer.add_string buf "  instance\n";
+              pp_tiles buf ~indent:"    " v.Cell.shape;
+              Buffer.add_string buf "  endinstance\n")
+            c.Cell.variants);
+      Array.iter (fun p -> pp_pin net_names buf p) c.Cell.pins;
+      Buffer.add_string buf "end\n")
+    nl.Netlist.cells;
+  Buffer.contents buf
+
+let to_file path nl =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string nl))

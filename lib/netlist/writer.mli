@@ -1,0 +1,12 @@
+(** Serializer for the textual netlist format.
+
+    The output is a canonical form readable by {!Parser}: macro cells keep
+    their tiles and fixed pins (in the re-centered cell frame); custom cells
+    are emitted as instance lists (one [shape]/[tile]-free instance per
+    variant is not expressible, so variants are flattened to explicit tile
+    geometry via [instances]-style cells).  Round-tripping preserves cell,
+    net and pin structure, though not the original aspect-range
+    declaration. *)
+
+val to_string : Netlist.t -> string
+val to_file : string -> Netlist.t -> unit

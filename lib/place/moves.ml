@@ -1,0 +1,222 @@
+open Twmc_geometry
+open Twmc_netlist
+module Rng = Twmc_sa.Rng
+module Anneal = Twmc_sa.Anneal
+
+type stats = {
+  mutable attempts : int;
+  mutable displacements : int;
+  mutable aspect_rescues : int;
+  mutable orient_changes : int;
+  mutable interchanges : int;
+  mutable interchange_rescues : int;
+  mutable pin_moves : int;
+  mutable variant_changes : int;
+}
+
+let make_stats () =
+  { attempts = 0;
+    displacements = 0;
+    aspect_rescues = 0;
+    orient_changes = 0;
+    interchanges = 0;
+    interchange_rescues = 0;
+    pin_moves = 0;
+    variant_changes = 0 }
+
+type ctx = {
+  p : Placement.t;
+  limiter : Range_limiter.t;
+  stats : stats;
+  allow_orient : bool;
+  allow_variant : bool;
+  prob_displacement : float;
+}
+
+let make_ctx ?(allow_orient = true) ?(allow_variant = true)
+    ?(interchanges = true) ~placement ~limiter ~stats () =
+  let r = (Placement.params placement).Params.r_ratio in
+  { p = placement;
+    limiter;
+    stats;
+    allow_orient;
+    allow_variant;
+    prob_displacement = (if interchanges then r /. (r +. 1.0) else 1.0) }
+
+(* Run [mutate] on the cells in [touched], Metropolis-test the cost change,
+   and roll back on rejection.  Returns acceptance. *)
+let trial ctx rng ~temp ~touched ~mutate =
+  let cost0 = Placement.total_cost ctx.p in
+  let gsnap = Placement.snapshot_cost ctx.p in
+  let csnaps = List.map (Placement.snapshot_cell ctx.p) touched in
+  mutate ();
+  let delta = Placement.total_cost ctx.p -. cost0 in
+  if Anneal.metropolis rng ~t:temp ~delta then true
+  else begin
+    List.iter (Placement.restore_cell ctx.p) csnaps;
+    Placement.restore_cost ctx.p gsnap;
+    false
+  end
+
+let random_cell ctx rng = Rng.int_incl rng 0 (Netlist.n_cells (Placement.netlist ctx.p) - 1)
+
+let clamp lo hi v = max lo (min hi v)
+
+let target_of_step ctx ci (dx, dy) =
+  let core = Placement.core ctx.p in
+  let x, y = Placement.cell_pos ctx.p ci in
+  ( clamp core.Rect.x0 core.Rect.x1 (x + dx),
+    clamp core.Rect.y0 core.Rect.y1 (y + dy) )
+
+(* A_1(i, x, y): displacement at current orientation. *)
+let attempt_displacement ctx rng ~temp ~cell ~x ~y =
+  trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
+      Placement.set_cell ctx.p cell ~x ~y ())
+
+(* A'(i, x, y): displacement with the aspect ratio inverted (Fig 2). *)
+let attempt_displacement_inverted ctx rng ~temp ~cell ~x ~y =
+  let o = Placement.cell_orient ctx.p cell in
+  let o' = Orient.aspect_inversion_of o in
+  trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
+      Placement.set_cell ctx.p cell ~x ~y ~orient:o' ())
+
+(* A_0(i): random in-place orientation change. *)
+let attempt_orient ctx rng ~temp ~cell =
+  let o = Placement.cell_orient ctx.p cell in
+  let candidates = List.filter (fun o' -> not (Orient.equal o o')) Orient.all in
+  let o' = Rng.pick_list rng candidates in
+  trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
+      Placement.set_cell ctx.p cell ~orient:o' ())
+
+(* A_2(i, j): pairwise interchange of cell centers. *)
+let attempt_interchange ctx rng ~temp ~i ~j ~invert =
+  let xi, yi = Placement.cell_pos ctx.p i
+  and xj, yj = Placement.cell_pos ctx.p j in
+  trial ctx rng ~temp ~touched:[ i; j ] ~mutate:(fun () ->
+      if invert then begin
+        let oi = Orient.aspect_inversion_of (Placement.cell_orient ctx.p i)
+        and oj = Orient.aspect_inversion_of (Placement.cell_orient ctx.p j) in
+        Placement.set_cell ctx.p i ~x:xj ~y:yj ~orient:oi ();
+        Placement.set_cell ctx.p j ~x:xi ~y:yi ~orient:oj ()
+      end
+      else begin
+        Placement.set_cell ctx.p i ~x:xj ~y:yj ();
+        Placement.set_cell ctx.p j ~x:xi ~y:yi ()
+      end)
+
+(* A_p(i): reassign one pin group or lone pin to fresh sites. *)
+let attempt_pin_move ctx rng ~temp ~cell =
+  let nl = Placement.netlist ctx.p in
+  let c = nl.Netlist.cells.(cell) in
+  let groups = Sites.group_members c in
+  let lone = Sites.lone_uncommitted c in
+  let n_groups = List.length groups in
+  let n_choices = n_groups + List.length lone in
+  if n_choices = 0 then false
+  else begin
+    let variant = Placement.cell_variant ctx.p cell in
+    let choice = Rng.int_incl rng 0 (n_choices - 1) in
+    let current = ref None in
+    let mutate () =
+      let sites =
+        Array.init (Cell.n_pins c) (fun p ->
+            Placement.site_of_pin ctx.p ~cell ~pin:p)
+      in
+      (if choice < n_groups then begin
+         let _, members = List.nth groups choice in
+         match members with
+         | [] -> ()
+         | first :: _ -> (
+             match Cell.allowed_sites c ~variant first with
+             | [] -> ()
+             | allowed ->
+                 let anchor = Rng.pick_list rng allowed in
+                 Sites.assign_group c ~variant ~members ~anchor_site:anchor
+                   ~sites)
+       end
+       else
+         let pin = List.nth lone (choice - n_groups) in
+         match Cell.allowed_sites c ~variant pin with
+         | [] -> ()
+         | allowed -> sites.(pin) <- Rng.pick_list rng allowed);
+      current := Some sites;
+      Placement.set_cell_sites ctx.p cell sites
+    in
+    let accepted = trial ctx rng ~temp ~touched:[ cell ] ~mutate in
+    if accepted then ctx.stats.pin_moves <- ctx.stats.pin_moves + 1;
+    accepted
+  end
+
+(* A_r(i): aspect-ratio / instance change to an adjacent variant. *)
+let attempt_variant ctx rng ~temp ~cell =
+  let nl = Placement.netlist ctx.p in
+  let c = nl.Netlist.cells.(cell) in
+  let nv = Cell.n_variants c in
+  if nv < 2 then false
+  else begin
+    let v = Placement.cell_variant ctx.p cell in
+    let v' =
+      if v = 0 then 1
+      else if v = nv - 1 then nv - 2
+      else if Rng.bool_with_prob rng 0.5 then v - 1
+      else v + 1
+    in
+    let accepted =
+      trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
+          Placement.set_cell ctx.p cell ~variant:v' ())
+    in
+    if accepted then ctx.stats.variant_changes <- ctx.stats.variant_changes + 1;
+    accepted
+  end
+
+let is_custom ctx ci =
+  let nl = Placement.netlist ctx.p in
+  match nl.Netlist.cells.(ci).Cell.kind with
+  | Cell.Custom -> true
+  | Cell.Macro -> false
+
+let n_uncommitted ctx ci =
+  let nl = Placement.netlist ctx.p in
+  Array.fold_left
+    (fun acc (p : Pin.t) -> if Pin.is_committed p then acc else acc + 1)
+    0 nl.Netlist.cells.(ci).Cell.pins
+
+let generate ctx rng ~temp =
+  ctx.stats.attempts <- ctx.stats.attempts + 1;
+  let prm = Placement.params ctx.p in
+  if Rng.bool_with_prob rng ctx.prob_displacement then begin
+    (* Single-cell displacement ladder. *)
+    let i = random_cell ctx rng in
+    let step =
+      Range_limiter.select prm.Params.displacement_selector rng ctx.limiter
+        ~temp
+    in
+    let x, y = target_of_step ctx i step in
+    if attempt_displacement ctx rng ~temp ~cell:i ~x ~y then
+      ctx.stats.displacements <- ctx.stats.displacements + 1
+    else if
+      ctx.allow_orient && attempt_displacement_inverted ctx rng ~temp ~cell:i ~x ~y
+    then ctx.stats.aspect_rescues <- ctx.stats.aspect_rescues + 1
+    else if ctx.allow_orient && attempt_orient ctx rng ~temp ~cell:i then
+      ctx.stats.orient_changes <- ctx.stats.orient_changes + 1;
+    if is_custom ctx i then begin
+      for _ = 1 to n_uncommitted ctx i do
+        ignore (attempt_pin_move ctx rng ~temp ~cell:i)
+      done;
+      if ctx.allow_variant then ignore (attempt_variant ctx rng ~temp ~cell:i)
+    end
+  end
+  else begin
+    (* Pairwise interchange (not range-limited in TimberWolfMC). *)
+    let i = random_cell ctx rng in
+    let j = random_cell ctx rng in
+    if i <> j then
+      if attempt_interchange ctx rng ~temp ~i ~j ~invert:false then
+        ctx.stats.interchanges <- ctx.stats.interchanges + 1
+      else if
+        ctx.allow_orient && attempt_interchange ctx rng ~temp ~i ~j ~invert:true
+      then begin
+        ctx.stats.interchanges <- ctx.stats.interchanges + 1;
+        ctx.stats.interchange_rescues <- ctx.stats.interchange_rescues + 1
+      end
+  end

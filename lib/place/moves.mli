@@ -1,0 +1,54 @@
+(** The [generate] function of Sec 3.2.1.
+
+    Each call makes one top-level attempt: with probability [p]
+    (where [r = p/(1-p)] is the configured displacement:interchange ratio)
+    a single-cell displacement, otherwise a pairwise interchange.  The
+    paper's rescue ladder is followed exactly:
+
+    - a rejected displacement is retried at the same target with the cell's
+      aspect ratio inverted (Fig 2), and failing that, a random in-place
+      orientation change is attempted;
+    - a rejected interchange is retried with both cells' aspect ratios
+      inverted;
+    - after the displacement ladder on a custom cell, one pin-placement
+      move is attempted per uncommitted pin, followed by one aspect-ratio
+      (variant) change attempt.
+
+    All acceptance decisions are Metropolis at the given temperature. *)
+
+type stats = {
+  mutable attempts : int;  (** Top-level generate calls. *)
+  mutable displacements : int;  (** Accepted plain displacements. *)
+  mutable aspect_rescues : int;  (** Displacements saved by aspect inversion. *)
+  mutable orient_changes : int;  (** Accepted in-place orientation changes. *)
+  mutable interchanges : int;  (** Accepted interchanges (plain or rescued). *)
+  mutable interchange_rescues : int;
+  mutable pin_moves : int;  (** Accepted pin (group) re-assignments. *)
+  mutable variant_changes : int;  (** Accepted aspect-ratio/instance changes. *)
+}
+
+val make_stats : unit -> stats
+
+type ctx
+
+val make_ctx :
+  ?allow_orient:bool ->
+  ?allow_variant:bool ->
+  ?interchanges:bool ->
+  placement:Placement.t ->
+  limiter:Range_limiter.t ->
+  stats:stats ->
+  unit ->
+  ctx
+(** Stage 2 passes [~allow_orient:false ~allow_variant:false
+    ~interchanges:false]: there, new states come only from single-cell
+    displacements and pin moves, because orientation and aspect-ratio
+    changes invalidate the per-edge interconnect areas (Sec 4.3). *)
+
+val generate : ctx -> Twmc_sa.Rng.t -> temp:float -> unit
+(** One top-level attempt, mutating the placement in place. *)
+
+val attempt_pin_move : ctx -> Twmc_sa.Rng.t -> temp:float -> cell:int -> bool
+(** One pin-group/lone-pin reassignment attempt on a custom cell; exposed
+    separately because stage 2's generate uses only displacements and pin
+    moves.  Returns true when a move was accepted. *)

@@ -1,0 +1,49 @@
+type displacement_selector = Ds | Dr
+
+type t = {
+  r_ratio : float;
+  a_c : int;
+  rho : float;
+  eta : float;
+  kappa : int;
+  p3 : float;
+  beta : float;
+  mu : float;
+  min_window : int;
+  displacement_selector : displacement_selector;
+  n_p2_samples : int;
+  refinement_iterations : int;
+  m_routes : int;
+  route_effort : int;
+  fill_target : float;
+  core_aspect : float;
+  seed : int;
+}
+
+let default =
+  { r_ratio = 10.0;
+    a_c = 400;
+    rho = 4.0;
+    eta = 0.5;
+    kappa = 5;
+    p3 = 1.0;
+    beta = 0.35;
+    mu = 0.03;
+    min_window = 6;
+    displacement_selector = Ds;
+    n_p2_samples = 20;
+    refinement_iterations = 3;
+    m_routes = 20;
+    route_effort = 12;
+    fill_target = 0.75;
+    core_aspect = 1.0;
+    seed = 1 }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>r=%.1f A_c=%d rho=%.1f eta=%.2f kappa=%d p3=%g beta=%.2f@,\
+     mu=%.3f min_window=%d selector=%s refinements=%d M=%d@,\
+     fill=%.2f aspect=%.2f seed=%d@]"
+    p.r_ratio p.a_c p.rho p.eta p.kappa p.p3 p.beta p.mu p.min_window
+    (match p.displacement_selector with Ds -> "Ds" | Dr -> "Dr")
+    p.refinement_iterations p.m_routes p.fill_target p.core_aspect p.seed

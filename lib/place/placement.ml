@@ -1,0 +1,497 @@
+open Twmc_geometry
+open Twmc_netlist
+
+type expander =
+  | No_expansion
+  | Dynamic of Twmc_estimator.Dynamic_area.t
+  | Static of (int * int * int * int) array
+
+type cell_state = {
+  mutable x : int;
+  mutable y : int;
+  mutable orient : Orient.t;
+  mutable variant : int;
+  mutable sites : int array;
+  mutable abs_tiles : Rect.t list;
+  mutable exp_tiles : Rect.t list;
+  mutable pin_pos : (int * int) array;
+  mutable bbox : Rect.t;
+  mutable occ : int array;
+  (* occupancy of the current variant's sites *)
+}
+
+type t = {
+  nl : Netlist.t;
+  prm : Params.t;
+  mutable core : Rect.t;
+  mutable expander : expander;
+  cells : cell_state array;
+  net_c1 : float array;
+  net_len : float array;
+  cell_c3 : float array;
+  mutable c1v : float;
+  mutable c2v : float;
+  mutable c3v : float;
+  mutable teilv : float;
+  mutable p2v : float;
+  (* Lazy caches of orientation-transformed geometry, keyed
+     [cell][variant][orient]. *)
+  tiles_cache : Rect.t list option array array array;
+  sites_cache : (int * int) array option array array array;
+  fixed_cache : (int * int) array option array array;  (* [cell][orient] *)
+}
+
+let netlist t = t.nl
+let params t = t.prm
+let core t = t.core
+
+(* ------------------------------------------------------------------ *)
+(* Geometry caches                                                     *)
+
+let cached_tiles t ci vi o =
+  let oi = Orient.to_int o in
+  match t.tiles_cache.(ci).(vi).(oi) with
+  | Some tiles -> tiles
+  | None ->
+      let shape = (Cell.variant t.nl.Netlist.cells.(ci) vi).Cell.shape in
+      let tiles = Shape.tiles (Shape.transform o shape) in
+      t.tiles_cache.(ci).(vi).(oi) <- Some tiles;
+      tiles
+
+let cached_sites t ci vi o =
+  let oi = Orient.to_int o in
+  match t.sites_cache.(ci).(vi).(oi) with
+  | Some a -> a
+  | None ->
+      let v = Cell.variant t.nl.Netlist.cells.(ci) vi in
+      let a =
+        Array.map
+          (fun (s : Pin_site.t) -> Orient.apply o (s.Pin_site.x, s.Pin_site.y))
+          v.Cell.sites
+      in
+      t.sites_cache.(ci).(vi).(oi) <- Some a;
+      a
+
+let cached_fixed t ci o =
+  let oi = Orient.to_int o in
+  match t.fixed_cache.(ci).(oi) with
+  | Some a -> a
+  | None ->
+      let c = t.nl.Netlist.cells.(ci) in
+      let a =
+        Array.map
+          (fun (p : Pin.t) ->
+            match p.Pin.loc with
+            | Pin.Fixed (x, y) -> Orient.apply o (x, y)
+            | Pin.Uncommitted _ -> (0, 0))
+          c.Cell.pins
+      in
+      t.fixed_cache.(ci).(oi) <- Some a;
+      a
+
+(* ------------------------------------------------------------------ *)
+(* Tile expansion                                                      *)
+
+let expand_tile t ci vi (r : Rect.t) =
+  match t.expander with
+  | No_expansion -> r
+  | Dynamic est ->
+      (* The modulation functions live in core-centered coordinates. *)
+      let ccx, ccy = Rect.center t.core in
+      let shifted = Rect.translate r ~dx:(-ccx) ~dy:(-ccy) in
+      let left, right, bottom, top =
+        Twmc_estimator.Dynamic_area.tile_expansions est ~cell:ci ~variant:vi
+          shifted
+      in
+      Rect.expand r ~left ~right ~bottom ~top
+  | Static exps ->
+      let left, right, bottom, top = exps.(ci) in
+      Rect.expand r ~left ~right ~bottom ~top
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell cache refresh                                              *)
+
+let refresh_cell t ci =
+  let cs = t.cells.(ci) in
+  let c = t.nl.Netlist.cells.(ci) in
+  let tiles0 = cached_tiles t ci cs.variant cs.orient in
+  cs.abs_tiles <- List.map (fun r -> Rect.translate r ~dx:cs.x ~dy:cs.y) tiles0;
+  cs.exp_tiles <- List.map (expand_tile t ci cs.variant) cs.abs_tiles;
+  cs.bbox <-
+    (match cs.exp_tiles with
+    | [] -> Rect.empty
+    | r :: rest -> List.fold_left Rect.hull r rest);
+  let fixed = cached_fixed t ci cs.orient in
+  let site_pos = cached_sites t ci cs.variant cs.orient in
+  Array.iteri
+    (fun p (pin : Pin.t) ->
+      let lx, ly =
+        match pin.Pin.loc with
+        | Pin.Fixed _ -> fixed.(p)
+        | Pin.Uncommitted _ -> site_pos.(cs.sites.(p))
+      in
+      cs.pin_pos.(p) <- (cs.x + lx, cs.y + ly))
+    c.Cell.pins
+
+(* ------------------------------------------------------------------ *)
+(* Cost terms                                                          *)
+
+let net_contrib t n =
+  let net = t.nl.Netlist.nets.(n) in
+  let minx = ref max_int and maxx = ref min_int in
+  let miny = ref max_int and maxy = ref min_int in
+  Array.iter
+    (fun (r : Net.pin_ref) ->
+      let x, y = t.cells.(r.Net.cell).pin_pos.(r.Net.pin) in
+      if x < !minx then minx := x;
+      if x > !maxx then maxx := x;
+      if y < !miny then miny := y;
+      if y > !maxy then maxy := y)
+    net.Net.pins;
+  let dx = float_of_int (!maxx - !minx) and dy = float_of_int (!maxy - !miny) in
+  ((dx *. net.Net.hweight) +. (dy *. net.Net.vweight), dx +. dy)
+
+(* Overlap of cell [ci]'s expanded tiles against every other cell and the
+   core-boundary dummies (footnote 16: area outside the core is overlap). *)
+let cell_overlap t ci =
+  let cs = t.cells.(ci) in
+  let total = ref 0 in
+  List.iter
+    (fun r -> total := !total + (Rect.area r - Rect.inter_area r t.core))
+    cs.exp_tiles;
+  Array.iteri
+    (fun cj other ->
+      if cj <> ci && Rect.overlaps cs.bbox other.bbox then
+        List.iter
+          (fun ra ->
+            List.iter
+              (fun rb -> total := !total + Rect.inter_area ra rb)
+              other.exp_tiles)
+          cs.exp_tiles)
+    t.cells;
+  float_of_int !total
+
+let occupancy t ci =
+  let cs = t.cells.(ci) in
+  let c = t.nl.Netlist.cells.(ci) in
+  let v = Cell.variant c cs.variant in
+  let occ = Array.make (Array.length v.Cell.sites) 0 in
+  Array.iteri
+    (fun p (pin : Pin.t) ->
+      match pin.Pin.loc with
+      | Pin.Uncommitted _ -> occ.(cs.sites.(p)) <- occ.(cs.sites.(p)) + 1
+      | Pin.Fixed _ -> ())
+    c.Cell.pins;
+  occ
+
+let cell_c3_of_occ t ci occ =
+  let cs = t.cells.(ci) in
+  let c = t.nl.Netlist.cells.(ci) in
+  let v = Cell.variant c cs.variant in
+  let kappa = t.prm.Params.kappa in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun s n ->
+      let cap = v.Cell.sites.(s).Pin_site.capacity in
+      if n > cap then
+        let e = float_of_int (n - cap + kappa) in
+        total := !total +. (e *. e))
+    occ;
+  !total
+
+let refresh_occupancy t ci =
+  let cs = t.cells.(ci) in
+  cs.occ <- occupancy t ci;
+  let old = t.cell_c3.(ci) in
+  let v = cell_c3_of_occ t ci cs.occ in
+  t.cell_c3.(ci) <- v;
+  t.c3v <- t.c3v -. old +. v
+
+(* ------------------------------------------------------------------ *)
+(* Full recomputation                                                  *)
+
+let recompute_all t =
+  Array.iteri (fun ci _ -> refresh_cell t ci) t.cells;
+  t.c1v <- 0.0;
+  t.teilv <- 0.0;
+  Array.iteri
+    (fun n _ ->
+      let c1, len = net_contrib t n in
+      t.net_c1.(n) <- c1;
+      t.net_len.(n) <- len;
+      t.c1v <- t.c1v +. c1;
+      t.teilv <- t.teilv +. len)
+    t.nl.Netlist.nets;
+  t.c3v <- 0.0;
+  Array.iteri
+    (fun ci cs ->
+      cs.occ <- occupancy t ci;
+      t.cell_c3.(ci) <- cell_c3_of_occ t ci cs.occ;
+      t.c3v <- t.c3v +. t.cell_c3.(ci))
+    t.cells;
+  (* Each unordered pair counted once; cell_overlap counts both directions,
+     and the boundary term once per cell. *)
+  let pairwise = ref 0.0 and boundary = ref 0.0 in
+  Array.iteri
+    (fun ci cs ->
+      List.iter
+        (fun r ->
+          boundary :=
+            !boundary +. float_of_int (Rect.area r - Rect.inter_area r t.core))
+        cs.exp_tiles;
+      Array.iteri
+        (fun cj other ->
+          if cj > ci && Rect.overlaps cs.bbox other.bbox then
+            List.iter
+              (fun ra ->
+                List.iter
+                  (fun rb ->
+                    pairwise := !pairwise +. float_of_int (Rect.inter_area ra rb))
+                  other.exp_tiles)
+              cs.exp_tiles)
+        t.cells)
+    t.cells;
+  t.c2v <- !pairwise +. !boundary
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ~params ~core ~expander ~rng (nl : Netlist.t) =
+  if Rect.is_empty core then invalid_arg "Placement.create: empty core";
+  let n = Netlist.n_cells nl in
+  let cells =
+    Array.init n (fun ci ->
+        let c = nl.Netlist.cells.(ci) in
+        { x = Twmc_sa.Rng.int_incl rng core.Rect.x0 core.Rect.x1;
+          y = Twmc_sa.Rng.int_incl rng core.Rect.y0 core.Rect.y1;
+          orient = Orient.R0;
+          variant = 0;
+          sites = Sites.random_assignment rng c ~variant:0;
+          abs_tiles = [];
+          exp_tiles = [];
+          pin_pos = Array.make (Cell.n_pins c) (0, 0);
+          bbox = Rect.empty;
+          occ = [||] })
+  in
+  let t =
+    { nl;
+      prm = params;
+      core;
+      expander;
+      cells;
+      net_c1 = Array.make (Netlist.n_nets nl) 0.0;
+      net_len = Array.make (Netlist.n_nets nl) 0.0;
+      cell_c3 = Array.make n 0.0;
+      c1v = 0.0;
+      c2v = 0.0;
+      c3v = 0.0;
+      teilv = 0.0;
+      p2v = 1.0;
+      tiles_cache =
+        Array.init n (fun ci ->
+            Array.init (Cell.n_variants nl.Netlist.cells.(ci)) (fun _ ->
+                Array.make 8 None));
+      sites_cache =
+        Array.init n (fun ci ->
+            Array.init (Cell.n_variants nl.Netlist.cells.(ci)) (fun _ ->
+                Array.make 8 None));
+      fixed_cache = Array.init n (fun _ -> Array.make 8 None) }
+  in
+  recompute_all t;
+  t
+
+let set_expander t e =
+  t.expander <- e;
+  recompute_all t
+
+let set_core t core =
+  if Rect.is_empty core then invalid_arg "Placement.set_core: empty core";
+  t.core <- core;
+  recompute_all t
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let cell_pos t ci = (t.cells.(ci).x, t.cells.(ci).y)
+let cell_orient t ci = t.cells.(ci).orient
+let cell_variant t ci = t.cells.(ci).variant
+let site_of_pin t ~cell ~pin = t.cells.(cell).sites.(pin)
+let pin_position t ~cell ~pin = t.cells.(cell).pin_pos.(pin)
+let abs_tiles t ci = t.cells.(ci).abs_tiles
+let expanded_tiles t ci = t.cells.(ci).exp_tiles
+let c1 t = t.c1v
+let c2_raw t = t.c2v
+let c3 t = t.c3v
+let p2 t = t.p2v
+let set_p2 t v = t.p2v <- v
+let teil t = t.teilv
+
+let total_cost t =
+  t.c1v +. (t.p2v *. t.c2v) +. (t.prm.Params.p3 *. t.c3v)
+
+let chip_bbox t =
+  Array.fold_left
+    (fun acc cs -> List.fold_left Rect.hull acc cs.exp_tiles)
+    Rect.empty t.cells
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+
+let update_nets_of_cell t ci =
+  List.iter
+    (fun n ->
+      let c1', len' = net_contrib t n in
+      t.c1v <- t.c1v -. t.net_c1.(n) +. c1';
+      t.teilv <- t.teilv -. t.net_len.(n) +. len';
+      t.net_c1.(n) <- c1';
+      t.net_len.(n) <- len')
+    t.nl.Netlist.nets_of_cell.(ci)
+
+let set_cell t ci ?x ?y ?orient ?variant ?sites () =
+  let cs = t.cells.(ci) in
+  let ov_old = cell_overlap t ci in
+  let variant_changed =
+    match variant with Some v -> v <> cs.variant | None -> false
+  in
+  (match x with Some v -> cs.x <- v | None -> ());
+  (match y with Some v -> cs.y <- v | None -> ());
+  (match orient with Some v -> cs.orient <- v | None -> ());
+  (match variant with Some v -> cs.variant <- v | None -> ());
+  (match sites with
+  | Some s -> cs.sites <- s
+  | None ->
+      if variant_changed then begin
+        (* Clamp assignments into the new variant's site array, honouring
+           edge restrictions. *)
+        let c = t.nl.Netlist.cells.(ci) in
+        let n_sites =
+          Array.length (Cell.variant c cs.variant).Cell.sites
+        in
+        Array.iteri
+          (fun p s ->
+            if s >= 0 then begin
+              let s = if s < n_sites then s else s mod max 1 n_sites in
+              let allowed = Cell.allowed_sites c ~variant:cs.variant p in
+              cs.sites.(p) <-
+                (if List.mem s allowed then s
+                 else
+                   match allowed with
+                   | [] ->
+                       invalid_arg
+                         "Placement.set_cell: pin has no allowed site in \
+                          new variant"
+                   | a :: _ -> a)
+            end)
+          cs.sites
+      end);
+  refresh_cell t ci;
+  update_nets_of_cell t ci;
+  let ov_new = cell_overlap t ci in
+  t.c2v <- t.c2v -. ov_old +. ov_new;
+  if variant_changed || sites <> None then refresh_occupancy t ci
+
+let set_cell_sites t ci sites =
+  let cs = t.cells.(ci) in
+  let c = t.nl.Netlist.cells.(ci) in
+  cs.sites <- sites;
+  let site_pos = cached_sites t ci cs.variant cs.orient in
+  Array.iteri
+    (fun p (pin : Pin.t) ->
+      match pin.Pin.loc with
+      | Pin.Uncommitted _ ->
+          let lx, ly = site_pos.(cs.sites.(p)) in
+          cs.pin_pos.(p) <- (cs.x + lx, cs.y + ly)
+      | Pin.Fixed _ -> ())
+    c.Cell.pins;
+  update_nets_of_cell t ci;
+  refresh_occupancy t ci
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type cell_snapshot = {
+  s_idx : int;
+  s_x : int;
+  s_y : int;
+  s_orient : Orient.t;
+  s_variant : int;
+  s_sites : int array;
+  s_abs : Rect.t list;
+  s_exp : Rect.t list;
+  s_pp : (int * int) array;
+  s_bbox : Rect.t;
+  s_occ : int array;
+  s_c3 : float;
+  s_nets : (int * float * float) list;
+}
+
+type cost_snapshot = { g_c1 : float; g_c2 : float; g_c3 : float; g_teil : float }
+
+let snapshot_cost t =
+  { g_c1 = t.c1v; g_c2 = t.c2v; g_c3 = t.c3v; g_teil = t.teilv }
+
+let restore_cost t s =
+  t.c1v <- s.g_c1;
+  t.c2v <- s.g_c2;
+  t.c3v <- s.g_c3;
+  t.teilv <- s.g_teil
+
+let snapshot_cell t ci =
+  let cs = t.cells.(ci) in
+  { s_idx = ci;
+    s_x = cs.x;
+    s_y = cs.y;
+    s_orient = cs.orient;
+    s_variant = cs.variant;
+    s_sites = Array.copy cs.sites;
+    s_abs = cs.abs_tiles;
+    s_exp = cs.exp_tiles;
+    s_pp = Array.copy cs.pin_pos;
+    s_bbox = cs.bbox;
+    s_occ = Array.copy cs.occ;
+    s_c3 = t.cell_c3.(ci);
+    s_nets =
+      List.map
+        (fun n -> (n, t.net_c1.(n), t.net_len.(n)))
+        t.nl.Netlist.nets_of_cell.(ci) }
+
+let restore_cell t s =
+  let cs = t.cells.(s.s_idx) in
+  cs.x <- s.s_x;
+  cs.y <- s.s_y;
+  cs.orient <- s.s_orient;
+  cs.variant <- s.s_variant;
+  cs.sites <- s.s_sites;
+  cs.abs_tiles <- s.s_abs;
+  cs.exp_tiles <- s.s_exp;
+  cs.pin_pos <- s.s_pp;
+  cs.bbox <- s.s_bbox;
+  cs.occ <- s.s_occ;
+  t.cell_c3.(s.s_idx) <- s.s_c3;
+  List.iter
+    (fun (n, c1, len) ->
+      t.net_c1.(n) <- c1;
+      t.net_len.(n) <- len)
+    s.s_nets
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+
+let verify_consistency t =
+  let c1 = t.c1v and c2 = t.c2v and c3 = t.c3v and teil = t.teilv in
+  recompute_all t;
+  let close a b =
+    Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+  in
+  if not (close c1 t.c1v) then
+    failwith (Printf.sprintf "C1 drift: cached %g vs true %g" c1 t.c1v);
+  if not (close c2 t.c2v) then
+    failwith (Printf.sprintf "C2 drift: cached %g vs true %g" c2 t.c2v);
+  if not (close c3 t.c3v) then
+    failwith (Printf.sprintf "C3 drift: cached %g vs true %g" c3 t.c3v);
+  if not (close teil t.teilv) then
+    failwith (Printf.sprintf "TEIL drift: cached %g vs true %g" teil t.teilv)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "C1=%.0f C2=%.0f (p2=%.3g) C3=%.0f TEIL=%.0f cost=%.0f"
+    t.c1v t.c2v t.p2v t.c3v t.teilv (total_cost t)

@@ -1,0 +1,53 @@
+open Twmc_geometry
+
+let run ~rng ~placement ~stats ~limiter ~moves_per_loop ~t_start
+    ?(allow_orient = true) ?(allow_variant = true) ?(interchanges = true)
+    ?(escape_fraction = 0.20) ?(max_loops = 150) ?(patience = 20) () =
+  let p = placement in
+  let core = Placement.core p in
+  (* rho = 1 makes the window temperature-independent: a constant-span
+     escape window. *)
+  let escape_limiter =
+    Range_limiter.create ~rho:1.0 ~t_inf:10.0
+      ~wx_inf:(escape_fraction *. float_of_int (Rect.width core))
+      ~wy_inf:(escape_fraction *. float_of_int (Rect.height core))
+      ~min_window:(Placement.params p).Params.min_window
+  in
+  let ctx_min =
+    Moves.make_ctx ~allow_orient ~allow_variant ~interchanges ~placement:p
+      ~limiter ~stats ()
+  in
+  let ctx_escape =
+    Moves.make_ctx ~allow_orient ~allow_variant ~interchanges ~placement:p
+      ~limiter:escape_limiter ~stats ()
+  in
+  let best = ref infinity in
+  let since_improved = ref 0 in
+  let loops = ref 0 in
+  let temp = ref t_start in
+  (* Cool with minimum-window moves first; once essentially frozen, start
+     interleaving the constant-window escape loops — at near-zero T they
+     only ever accept improving hops, so they can unjam without churning. *)
+  let cold_after = 12 in
+  while
+    !loops < max_loops
+    && Placement.c2_raw p > 0.0
+    && !since_improved < patience
+  do
+    let ctx =
+      if !loops >= cold_after && !loops mod 2 = 1 then ctx_escape else ctx_min
+    in
+    for _ = 1 to moves_per_loop do
+      Moves.generate ctx rng ~temp:!temp
+    done;
+    Placement.recompute_all p;
+    let c2 = Placement.c2_raw p in
+    if c2 < !best then begin
+      best := c2;
+      since_improved := 0
+    end
+    else incr since_improved;
+    temp := 0.6 *. !temp;
+    incr loops
+  done;
+  !loops

@@ -1,0 +1,32 @@
+(** Overlap-elimination quench.
+
+    Both stages of TimberWolfMC formally stop on a geometric criterion (the
+    range-limiter window reaching its minimum span), which on small cores
+    fires while the temperature is still warm enough to leave residual cell
+    overlap.  The paper's layouts end essentially overlap-free because their
+    [T → T0 ≈ 0] tail freezes the penalty out; this module reproduces that
+    tail explicitly: inner loops at rapidly decreasing temperature,
+    alternating minimum-window refinement moves with constant-window
+    "escape" moves (a window of a fixed core fraction at near-zero T lets a
+    jammed cell hop over a neighbour when that strictly improves the cost).
+
+    Stops as soon as the overlap penalty [C2] reaches zero, or when it has
+    not improved for [patience] loops, or after [max_loops]. *)
+
+val run :
+  rng:Twmc_sa.Rng.t ->
+  placement:Placement.t ->
+  stats:Moves.stats ->
+  limiter:Range_limiter.t ->
+  moves_per_loop:int ->
+  t_start:float ->
+  ?allow_orient:bool ->
+  ?allow_variant:bool ->
+  ?interchanges:bool ->
+  ?escape_fraction:float ->
+  ?max_loops:int ->
+  ?patience:int ->
+  unit ->
+  int
+(** Returns the number of inner loops executed.  The placement's cost
+    accumulators are left fully recomputed. *)

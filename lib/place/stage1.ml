@@ -1,0 +1,157 @@
+open Twmc_geometry
+open Twmc_netlist
+module Rng = Twmc_sa.Rng
+module Schedule = Twmc_sa.Schedule
+
+type temp_record = {
+  temperature : float;
+  cost : float;
+  c1 : float;
+  c2_raw : float;
+  c3 : float;
+  acceptance : float;
+  window : float * float;
+}
+
+type result = {
+  placement : Placement.t;
+  t_inf : float;
+  s_t : float;
+  core : Rect.t;
+  teil : float;
+  c1 : float;
+  residual_overlap : float;
+  chip : Rect.t;
+  move_stats : Moves.stats;
+  trace : temp_record list;
+  temperatures_visited : int;
+}
+
+let centered_core ~core_w ~core_h =
+  Rect.make ~x0:(-(core_w / 2)) ~y0:(-(core_h / 2))
+    ~x1:(core_w - (core_w / 2))
+    ~y1:(core_h - (core_h / 2))
+
+(* Scatter every cell uniformly over the core; used to sample the random
+   ensemble that normalizes p2. *)
+let randomize rng p =
+  let core = Placement.core p in
+  let nl = Placement.netlist p in
+  for ci = 0 to Netlist.n_cells nl - 1 do
+    Placement.set_cell p ci
+      ~x:(Rng.int_incl rng core.Rect.x0 core.Rect.x1)
+      ~y:(Rng.int_incl rng core.Rect.y0 core.Rect.y1)
+      ()
+  done
+
+let normalize_p2 rng p ~eta ~samples =
+  let c1s = ref 0.0 and c2s = ref 0.0 in
+  for _ = 1 to samples do
+    randomize rng p;
+    c1s := !c1s +. Placement.c1 p;
+    c2s := !c2s +. Placement.c2_raw p
+  done;
+  let p2 = if !c2s <= 0.0 then 1.0 else eta *. !c1s /. !c2s in
+  Placement.set_p2 p p2
+
+(* The paper scales T∞ by the average cell area including the estimated
+   interconnect area (Eqns 19–21). *)
+let avg_effective_cell_area p =
+  let nl = Placement.netlist p in
+  let n = Netlist.n_cells nl in
+  let total = ref 0 in
+  for ci = 0 to n - 1 do
+    List.iter
+      (fun r -> total := !total + Rect.area r)
+      (Placement.expanded_tiles p ci)
+  done;
+  float_of_int !total /. float_of_int (max 1 n)
+
+let run ?(params = Params.default) ?core ?on_temp ~rng nl =
+  let core =
+    match core with
+    | Some c -> c
+    | None ->
+        let r =
+          Twmc_estimator.Core_area.determine ~beta:params.Params.beta
+            ~aspect:params.Params.core_aspect
+            ~fill_target:params.Params.fill_target nl
+        in
+        centered_core ~core_w:r.Twmc_estimator.Core_area.core_w
+          ~core_h:r.Twmc_estimator.Core_area.core_h
+  in
+  let estimator =
+    Twmc_estimator.Dynamic_area.create ~beta:params.Params.beta
+      ~core_w:(Rect.width core) ~core_h:(Rect.height core) nl
+  in
+  let p =
+    Placement.create ~params ~core ~expander:(Placement.Dynamic estimator) ~rng
+      nl
+  in
+  normalize_p2 rng p ~eta:params.Params.eta ~samples:params.Params.n_p2_samples;
+  let s_t = Schedule.s_t ~avg_cell_area:(avg_effective_cell_area p) in
+  let t_inf = Schedule.t_infinity ~s_t in
+  let schedule = Schedule.stage1 ~s_t in
+  let limiter =
+    Range_limiter.of_core ~rho:params.Params.rho ~t_inf ~core
+      ~min_window:params.Params.min_window
+  in
+  let stats = Moves.make_stats () in
+  let ctx = Moves.make_ctx ~placement:p ~limiter ~stats () in
+  let a = params.Params.a_c * Netlist.n_cells nl in
+  let trace = ref [] in
+  let n_temps = ref 0 in
+  let t_floor = 1e-4 *. t_inf in
+  let rec loop temp =
+    incr n_temps;
+    let accepted_before =
+      stats.Moves.displacements + stats.Moves.interchanges
+      + stats.Moves.orient_changes + stats.Moves.aspect_rescues
+    in
+    for _ = 1 to a do
+      Moves.generate ctx rng ~temp
+    done;
+    (* Correct any float drift in the incremental accumulators. *)
+    Placement.recompute_all p;
+    let accepted_after =
+      stats.Moves.displacements + stats.Moves.interchanges
+      + stats.Moves.orient_changes + stats.Moves.aspect_rescues
+    in
+    let rec_ =
+      { temperature = temp;
+        cost = Placement.total_cost p;
+        c1 = Placement.c1 p;
+        c2_raw = Placement.c2_raw p;
+        c3 = Placement.c3 p;
+        acceptance = float_of_int (accepted_after - accepted_before) /. float_of_int a;
+        window = Range_limiter.window limiter ~temp }
+    in
+    trace := rec_ :: !trace;
+    (match on_temp with Some f -> f rec_ | None -> ());
+    (* Stop after an inner loop at the minimum window span (Sec 3.3). *)
+    if Range_limiter.at_min_span limiter ~temp then quench temp 0
+    else
+      let temp' = Schedule.next schedule temp in
+      if temp' < t_floor then quench temp' 0 else loop temp'
+  (* The paper's T0 is effectively zero; for small cores the minimum window
+     span is reached while T is still warm enough to leave residual overlap,
+     so finish with the explicit quench tail. *)
+  and quench temp _k =
+    n_temps :=
+      !n_temps
+      + Quench.run ~rng ~placement:p ~stats ~limiter ~moves_per_loop:a
+          ~t_start:temp ()
+  in
+  loop t_inf;
+  Placement.recompute_all p;
+  { placement = p;
+    t_inf;
+    s_t;
+    core;
+    teil = Placement.teil p;
+    c1 = Placement.c1 p;
+    residual_overlap = Placement.c2_raw p;
+    chip = Placement.chip_bbox p;
+    move_stats = stats;
+    trace = List.rev !trace;
+    temperatures_visited = !n_temps }

@@ -1,0 +1,42 @@
+(** Stage 1 of TimberWolfMC (Sec 3): simulated-annealing placement with the
+    dynamic interconnect-area estimator.
+
+    The driver: sizes the core (Sec 2.2 "Determining the Core Area"),
+    normalizes the overlap penalty so [p₂·C₂ ≈ η·C₁] at [T∞] (Eqn 9),
+    scales the temperature profile by [S_T] (Eqns 19–21), and anneals with
+    the Table 1 schedule until the range-limiter window reaches its minimum
+    span. *)
+
+type temp_record = {
+  temperature : float;
+  cost : float;
+  c1 : float;
+  c2_raw : float;
+  c3 : float;
+  acceptance : float;  (** Accepted top-level moves / attempts, approximate. *)
+  window : float * float;
+}
+
+type result = {
+  placement : Placement.t;
+  t_inf : float;
+  s_t : float;
+  core : Twmc_geometry.Rect.t;
+  teil : float;
+  c1 : float;
+  residual_overlap : float;  (** [C₂] at the end of stage 1. *)
+  chip : Twmc_geometry.Rect.t;
+  move_stats : Moves.stats;
+  trace : temp_record list;
+  temperatures_visited : int;
+}
+
+val run :
+  ?params:Params.t ->
+  ?core:Twmc_geometry.Rect.t ->
+  ?on_temp:(temp_record -> unit) ->
+  rng:Twmc_sa.Rng.t ->
+  Twmc_netlist.Netlist.t ->
+  result
+(** When [core] is omitted it is determined by {!Twmc_estimator.Core_area}
+    and centered on the origin. *)

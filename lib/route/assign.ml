@@ -1,0 +1,123 @@
+module G = Twmc_channel.Graph
+module Rng = Twmc_sa.Rng
+
+type result = {
+  chosen : int array;
+  total_length : int;
+  overflow : int;
+  edge_density : int array;
+  attempts : int;
+}
+
+let run ?m ~rng ~graph ~alternatives () =
+  let n_nets = Array.length alternatives in
+  Array.iteri
+    (fun i a ->
+      if Array.length a = 0 then
+        invalid_arg (Printf.sprintf "Assign.run: net %d has no alternative" i))
+    alternatives;
+  let m =
+    match m with
+    | Some m -> m
+    | None -> Array.fold_left (fun acc a -> max acc (Array.length a)) 1 alternatives
+  in
+  let n_edges = G.n_edges graph in
+  let density = Array.make n_edges 0 in
+  let chosen = Array.make n_nets 0 in
+  let use sign (r : Steiner.route) =
+    List.iter (fun e -> density.(e) <- density.(e) + sign) r.Steiner.edges
+  in
+  Array.iter (fun a -> use 1 a.(0)) alternatives;
+  let capacity e = graph.G.edges.(e).G.capacity in
+  let overflow_of_edge e = max 0 (density.(e) - capacity e) in
+  let x = ref 0 in
+  for e = 0 to n_edges - 1 do
+    x := !x + overflow_of_edge e
+  done;
+  let l = ref 0 in
+  Array.iteri (fun i a -> l := !l + a.(chosen.(i)).Steiner.length) alternatives;
+  (* Nets using each edge, maintained incrementally as chosen routes move. *)
+  let users = Array.make n_edges [] in
+  let add_user i r =
+    List.iter (fun e -> users.(e) <- i :: users.(e)) r.Steiner.edges
+  in
+  let remove_user i r =
+    List.iter
+      (fun e -> users.(e) <- List.filter (fun j -> j <> i) users.(e))
+      r.Steiner.edges
+  in
+  Array.iteri (fun i a -> add_user i a.(0)) alternatives;
+  (* ΔX and ΔL are computed by applying the change for real and reverting
+     on rejection — routes are short, so this is cheap and exact even when
+     the old and new routes share edges. *)
+  let apply i k =
+    let old_r = alternatives.(i).(chosen.(i)) in
+    let new_r = alternatives.(i).(k) in
+    let dx = ref 0 in
+    List.iter
+      (fun e ->
+        dx := !dx - overflow_of_edge e;
+        density.(e) <- density.(e) - 1;
+        dx := !dx + overflow_of_edge e)
+      old_r.Steiner.edges;
+    List.iter
+      (fun e ->
+        dx := !dx - overflow_of_edge e;
+        density.(e) <- density.(e) + 1;
+        dx := !dx + overflow_of_edge e)
+      new_r.Steiner.edges;
+    remove_user i old_r;
+    add_user i new_r;
+    chosen.(i) <- k;
+    (!dx, new_r.Steiner.length - old_r.Steiner.length)
+  in
+  let attempts = ref 0 in
+  let idle = ref 0 in
+  (* The paper's stopping budget is M·N idle attempts; floor it so tiny
+     instances still get a fair number of random draws. *)
+  let max_idle = max 200 (m * n_nets) in
+  let overfull () =
+    let acc = ref [] in
+    for e = 0 to n_edges - 1 do
+      if overflow_of_edge e > 0 then acc := e :: !acc
+    done;
+    !acc
+  in
+  let rec loop () =
+    if !x > 0 && !idle < max_idle then begin
+      incr attempts;
+      (match overfull () with
+      | [] -> ()
+      | edges -> (
+          let e = Rng.pick_list rng edges in
+          match users.(e) with
+          | [] -> incr idle
+          | us -> (
+              let i = Rng.pick_list rng us in
+              let n_alts = Array.length alternatives.(i) in
+              if n_alts < 2 then incr idle
+              else
+                (* Try a random alternative with ΔX <= 0 (apply & revert). *)
+                let k = Rng.int_incl rng 0 (n_alts - 1) in
+                if k = chosen.(i) then incr idle
+                else
+                  let old_k = chosen.(i) in
+                  let dx, dl = apply i k in
+                  if dx < 0 || (dx = 0 && dl <= 0) then begin
+                    x := !x + dx;
+                    l := !l + dl;
+                    if dx = 0 && dl = 0 then incr idle else idle := 0
+                  end
+                  else begin
+                    ignore (apply i old_k);
+                    incr idle
+                  end)));
+      loop ()
+    end
+  in
+  loop ();
+  { chosen;
+    total_length = !l;
+    overflow = !x;
+    edge_density = density;
+    attempts = !attempts }

@@ -1,0 +1,29 @@
+(** Phase two of the global router (Sec 4.2.2): select one route per net
+    from the stored alternatives by random interchange, minimizing total
+    length [L] (Eqn 23) subject to the channel-edge capacities via the
+    excess-track count [X] (Eqn 24).
+
+    Generation picks a random over-capacity edge, a random net using it and
+    a random alternative with [ΔX <= 0]; the new route is accepted when
+    [ΔX < 0], or when [ΔX = 0] and [ΔL <= 0].  The procedure stops when
+    [X = 0] (covering the paper's "all k=1 and X=0" fast path), or when
+    neither [L] nor [X] has changed for [M·N] attempts. *)
+
+type result = {
+  chosen : int array;  (** Per net: index into its alternative list. *)
+  total_length : int;  (** Final [L]. *)
+  overflow : int;  (** Final [X]. *)
+  edge_density : int array;  (** Final [D_j] per channel-graph edge. *)
+  attempts : int;
+}
+
+val run :
+  ?m:int ->
+  rng:Twmc_sa.Rng.t ->
+  graph:Twmc_channel.Graph.t ->
+  alternatives:Steiner.route array array ->
+  unit ->
+  result
+(** [alternatives.(i)] are net [i]'s routes, shortest first (index 0 is the
+    [k = 1] route); every net must have at least one.  [m] is the [M] of the
+    stopping criterion (defaults to the maximum alternative count). *)

@@ -1,0 +1,62 @@
+module G = Twmc_channel.Graph
+
+type report = {
+  n_edges : int;
+  used_edges : int;
+  max_density : int;
+  overflowed_edges : int;
+  total_overflow : int;
+  avg_utilization : float;
+  histogram : (string * int) list;
+}
+
+let buckets = [ "0"; "(0,25]"; "(25,50]"; "(50,75]"; "(75,100]"; ">100" ]
+
+let bucket_of utilization =
+  if utilization <= 0.0 then "0"
+  else if utilization <= 0.25 then "(0,25]"
+  else if utilization <= 0.50 then "(25,50]"
+  else if utilization <= 0.75 then "(50,75]"
+  else if utilization <= 1.0 then "(75,100]"
+  else ">100"
+
+let of_result (r : Global_router.result) =
+  let counts = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace counts b 0) buckets;
+  let used = ref 0 and maxd = ref 0 in
+  let over_edges = ref 0 and over_total = ref 0 in
+  let util_sum = ref 0.0 in
+  Array.iter
+    (fun (e : G.edge) ->
+      let d = r.Global_router.edge_density.(e.G.id) in
+      if d > 0 then incr used;
+      if d > !maxd then maxd := d;
+      if d > e.G.capacity then begin
+        incr over_edges;
+        over_total := !over_total + (d - e.G.capacity)
+      end;
+      let u = float_of_int d /. float_of_int (max 1 e.G.capacity) in
+      if d > 0 then util_sum := !util_sum +. u;
+      let b = bucket_of u in
+      Hashtbl.replace counts b (1 + Hashtbl.find counts b))
+    r.Global_router.graph.G.edges;
+  let n_edges = G.n_edges r.Global_router.graph in
+  { n_edges;
+    used_edges = !used;
+    max_density = !maxd;
+    overflowed_edges = !over_edges;
+    total_overflow = !over_total;
+    avg_utilization =
+      (if !used = 0 then 0.0 else !util_sum /. float_of_int !used);
+    histogram = List.map (fun b -> (b, Hashtbl.find counts b)) buckets }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>channel edges: %d (%d carrying nets)@,\
+     max density: %d, overflowed edges: %d (X = %d)@,\
+     mean utilization of used edges: %.0f%%@,histogram:%a@]"
+    r.n_edges r.used_edges r.max_density r.overflowed_edges r.total_overflow
+    (100.0 *. r.avg_utilization)
+    (fun ppf h ->
+      List.iter (fun (b, c) -> Format.fprintf ppf "@,  %-9s %d" b c) h)
+    r.histogram

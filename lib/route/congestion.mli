@@ -1,0 +1,21 @@
+(** Congestion analysis of a global-routing result.
+
+    The channel-utilization view downstream of Eqn 24: per-edge density over
+    capacity, the overflow total, and a utilization histogram — what a
+    designer looks at to judge whether the placement needs more refinement
+    (Sec 4's convergence criterion in practice). *)
+
+type report = {
+  n_edges : int;
+  used_edges : int;  (** Edges carrying at least one net. *)
+  max_density : int;
+  overflowed_edges : int;  (** Edges with density above capacity. *)
+  total_overflow : int;  (** The [X] of Eqn 24. *)
+  avg_utilization : float;  (** Mean density/capacity over used edges. *)
+  histogram : (string * int) list;
+      (** Utilization buckets: "0", "(0,25]", "(25,50]", "(50,75]",
+          "(75,100]", ">100" (percent of capacity). *)
+}
+
+val of_result : Global_router.result -> report
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,67 @@
+module G = Twmc_channel.Graph
+module Pin_map = Twmc_channel.Pin_map
+
+type routed_net = { net : int; route : Steiner.route; alternatives : int }
+
+type result = {
+  graph : G.t;
+  routed : routed_net list;
+  unroutable : int list;
+  total_length : int;
+  overflow : int;
+  edge_density : int array;
+  assign_attempts : int;
+}
+
+let route ?(m = 20) ?budget_factor ~rng ~graph ~tasks () =
+  let with_routes, unroutable =
+    List.fold_left
+      (fun (ok, bad) (task : Pin_map.net_task) ->
+        let terminals =
+          List.map (fun t -> t.Pin_map.candidates) task.Pin_map.terminals
+        in
+        match Steiner.routes ?budget_factor graph ~m ~terminals with
+        | [] -> (ok, task.Pin_map.net :: bad)
+        | routes -> ((task.Pin_map.net, Array.of_list routes) :: ok, bad))
+      ([], []) tasks
+  in
+  let with_routes = List.rev with_routes in
+  let alternatives = Array.of_list (List.map snd with_routes) in
+  let nets = Array.of_list (List.map fst with_routes) in
+  if Array.length alternatives = 0 then
+    { graph;
+      routed = [];
+      unroutable = List.rev unroutable;
+      total_length = 0;
+      overflow = 0;
+      edge_density = Array.make (G.n_edges graph) 0;
+      assign_attempts = 0 }
+  else begin
+    let a = Assign.run ~m ~rng ~graph ~alternatives () in
+    let routed =
+      Array.to_list
+        (Array.mapi
+           (fun i net ->
+             { net;
+               route = alternatives.(i).(a.Assign.chosen.(i));
+               alternatives = Array.length alternatives.(i) })
+           nets)
+    in
+    { graph;
+      routed;
+      unroutable = List.rev unroutable;
+      total_length = a.Assign.total_length;
+      overflow = a.Assign.overflow;
+      edge_density = a.Assign.edge_density;
+      assign_attempts = a.Assign.attempts }
+  end
+
+let node_density r =
+  let d = Array.make (G.n_nodes r.graph) 0 in
+  Array.iter
+    (fun (e : G.edge) ->
+      let dens = r.edge_density.(e.G.id) in
+      if dens > d.(e.G.a) then d.(e.G.a) <- dens;
+      if dens > d.(e.G.b) then d.(e.G.b) <- dens)
+    r.graph.G.edges;
+  d

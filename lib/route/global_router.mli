@@ -1,0 +1,38 @@
+(** The complete global router (Sec 4.2): phase 1 stores ≈M alternative
+    routes per net; phase 2 selects one per net under the channel-edge
+    capacity constraints.
+
+    Inputs are exactly what the paper prescribes — a net list (as routing
+    tasks with candidate terminal nodes, from {!Twmc_channel.Pin_map}) and a
+    channel graph — so the router is independent of the layout style. *)
+
+type routed_net = {
+  net : int;
+  route : Steiner.route;
+  alternatives : int;  (** [M_i], how many routes phase 1 stored. *)
+}
+
+type result = {
+  graph : Twmc_channel.Graph.t;
+  routed : routed_net list;
+  unroutable : int list;
+      (** Nets whose terminals span disconnected graph components. *)
+  total_length : int;  (** [L] over routed nets. *)
+  overflow : int;  (** Final [X]. *)
+  edge_density : int array;
+  assign_attempts : int;
+}
+
+val route :
+  ?m:int ->
+  ?budget_factor:int ->
+  rng:Twmc_sa.Rng.t ->
+  graph:Twmc_channel.Graph.t ->
+  tasks:Twmc_channel.Pin_map.net_task list ->
+  unit ->
+  result
+(** [m] defaults to 20 (Sec 4.2.1: "typically on the order of 20"). *)
+
+val node_density : result -> int array
+(** Per region: the maximum density of its incident channel-graph edges —
+    the [d] of Eqn 22 used to derive required channel widths. *)

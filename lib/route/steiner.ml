@@ -1,0 +1,129 @@
+module G = Twmc_channel.Graph
+
+type route = { edges : int list; nodes : int list; length : int }
+
+let compare_route a b =
+  match Stdlib.compare a.length b.length with
+  | 0 -> Stdlib.compare (a.edges, a.nodes) (b.edges, b.nodes)
+  | c -> c
+
+module Route_set = Set.Make (struct
+  type t = route
+
+  let compare = compare_route
+end)
+
+(* Prim-style terminal order starting from a fixed first terminal.  [skip]
+   steps down the closest-first ranking at the very first addition: the
+   dissertation's footnote-27 generalization considers not only the closest
+   unconnected pin but up to k alternatives, which we realize by exploring
+   the orders that start with the 1st..k-th nearest second terminal. *)
+let prim_order ?(skip = 0) g terminals =
+  match terminals with
+  | [] | [ _ ] -> terminals
+  | first :: rest ->
+      let ordered = ref [ first ] in
+      let connected = ref first in
+      let remaining = ref rest in
+      let steps = ref 0 in
+      while !remaining <> [] do
+        (* One all-distances sweep from the connected set serves every
+           remaining terminal at once. *)
+        let dist = Mshortest.distances g ~sources:!connected in
+        let dist_of t =
+          List.fold_left (fun acc c -> min acc dist.(c)) max_int t
+        in
+        let ranked =
+          List.sort
+            (fun a b -> Stdlib.compare (dist_of a) (dist_of b))
+            !remaining
+        in
+        let choice =
+          let want = if !steps = 0 then skip else 0 in
+          List.nth ranked (min want (List.length ranked - 1))
+        in
+        incr steps;
+        ordered := choice :: !ordered;
+        connected := choice @ !connected;
+        remaining := List.filter (fun t' -> t' != choice) !remaining
+      done;
+      List.rev !ordered
+
+let route_of_edge_set g edge_ids node_ids =
+  let edges = List.sort_uniq Stdlib.compare edge_ids in
+  let nodes = List.sort_uniq Stdlib.compare node_ids in
+  let length =
+    List.fold_left (fun acc e -> acc + g.G.edges.(e).G.length) 0 edges
+  in
+  { edges; nodes; length }
+
+let routes_in_order ~budget_factor g ~m ~order =
+  match order with
+  | [] -> []
+  | [ single ] ->
+      [ { edges = []; nodes = [ List.hd single ]; length = 0 } ]
+  | first :: rest ->
+      let best = ref Route_set.empty in
+      let worst_kept () =
+        if Route_set.cardinal !best < m then max_int
+        else (Route_set.max_elt !best).length
+      in
+      let record edge_ids node_ids =
+        let r = route_of_edge_set g edge_ids node_ids in
+        best := Route_set.add r !best;
+        if Route_set.cardinal !best > m then
+          best := Route_set.remove (Route_set.max_elt !best) !best
+      in
+      (* Depth-first over the stored alternatives; [tree_nodes] are the
+         paper's "target nodes" (every node touched so far).  A global
+         expansion budget bounds the worst case on high-fanout nets — the
+         search visits alternatives shortest-first, so the budget trims only
+         the long tail. *)
+      let budget = ref (budget_factor * m) in
+      let rec grow ~tree_nodes ~tree_edges ~depth = function
+        | [] -> record tree_edges tree_nodes
+        | terminal :: todo ->
+            let sources = if tree_nodes = [] then first else tree_nodes in
+            (* Full fan-out at the first level, narrowing with depth; from
+               the third terminal on, a single shortest path suffices. *)
+            let k = max (if depth >= 2 then 1 else 2) (m lsr min depth 8) in
+            let paths = Mshortest.k_shortest g ~k ~sources ~targets:terminal in
+            List.iter
+              (fun (p : Mshortest.path) ->
+                if !budget > 0 then begin
+                  decr budget;
+                  (* Shared edges cost nothing extra, so bound with the
+                     deduplicated length. *)
+                  let new_edges = p.Mshortest.edges @ tree_edges in
+                  let new_nodes = p.Mshortest.nodes @ tree_nodes in
+                  let opt_len =
+                    (route_of_edge_set g new_edges new_nodes).length
+                  in
+                  if opt_len < worst_kept () || Route_set.cardinal !best < m
+                  then
+                    grow ~tree_nodes:new_nodes ~tree_edges:new_edges
+                      ~depth:(depth + 1) todo
+                end)
+              paths
+      in
+      grow ~tree_nodes:[] ~tree_edges:[] ~depth:0 rest;
+      Route_set.elements !best
+
+let routes ?(budget_factor = 12) ?(prim_k = 1) g ~m ~terminals =
+  if m <= 0 then invalid_arg "Steiner.routes: m <= 0";
+  if budget_factor <= 0 then invalid_arg "Steiner.routes: budget_factor <= 0";
+  if prim_k <= 0 then invalid_arg "Steiner.routes: prim_k <= 0";
+  if List.exists (fun t -> t = []) terminals then
+    invalid_arg "Steiner.routes: empty terminal candidate list";
+  let n_orders = min prim_k (max 1 (List.length terminals - 1)) in
+  let merged = ref Route_set.empty in
+  for skip = 0 to n_orders - 1 do
+    let order = prim_order ~skip g terminals in
+    List.iter
+      (fun r -> merged := Route_set.add r !merged)
+      (routes_in_order ~budget_factor g ~m ~order)
+  done;
+  let rec take k l =
+    if k = 0 then [] else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+  in
+  take m (Route_set.elements !merged)

@@ -1,0 +1,42 @@
+(** Phase one of the global router (Sec 4.2.1): enumerate the approximately
+    M shortest Steiner routes of a multi-pin net on the channel graph.
+
+    The paper's generalization of Lawler's procedure: terminals are added in
+    an order essentially given by Prim's minimum-spanning-tree algorithm;
+    each addition generates (and stores) the M shortest paths from the
+    already-interconnected node set to the next terminal's candidate nodes
+    (electrically-equivalent pins contribute several candidates); the
+    recursion explores the stored alternatives and retains the overall M
+    shortest complete routes.  Branch-and-bound pruning against the current
+    M-th best total keeps the enumeration tractable; for nets of fewer than
+    20 pins the minimum-Steiner-length route is nearly always among the M
+    alternatives. *)
+
+type route = {
+  edges : int list;  (** Sorted unique edge ids of the route tree. *)
+  nodes : int list;  (** Sorted unique nodes covered. *)
+  length : int;  (** Sum of the unique edges' lengths. *)
+}
+
+val compare_route : route -> route -> int
+(** By length, then structurally (for deterministic ordering). *)
+
+val routes :
+  ?budget_factor:int ->
+  ?prim_k:int ->
+  Twmc_channel.Graph.t ->
+  m:int ->
+  terminals:int list list ->
+  route list
+(** [routes g ~m ~terminals] — each terminal is a nonempty candidate-node
+    list.  Returns up to [m] distinct routes, shortest first; [] when some
+    terminal cannot be reached.  A single-terminal net yields one empty
+    route.  [budget_factor] (default 12) bounds the enumeration at
+    [budget_factor·m] expansions per net — lower it to trade route
+    diversity for speed.
+
+    [prim_k] (default 1) is the dissertation's footnote-27 generalization:
+    besides the closest-first Prim order, also explore the orders whose
+    first addition is the 2nd..k-th nearest terminal, merging the resulting
+    route pools — for nets whose minimum Steiner tree does not follow the
+    greedy order. *)

@@ -1,0 +1,8 @@
+(** Global routing (Sec 4.2): M-shortest paths, Steiner route enumeration,
+    and capacity-constrained route selection. *)
+
+module Mshortest = Mshortest
+module Steiner = Steiner
+module Assign = Assign
+module Global_router = Global_router
+module Congestion = Congestion

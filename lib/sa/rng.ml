@@ -1,0 +1,38 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x7157c3; seed lxor 0x5eed |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let copy = Random.State.copy
+
+let int_incl t k l =
+  if k > l then invalid_arg "Rng.int_incl: k > l";
+  k + Random.State.int t (l - k + 1)
+
+let float t bound = Random.State.float t bound
+let unit_float t = Random.State.float t 1.0
+let bool_with_prob t p = Random.State.float t 1.0 < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (Random.State.int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let gaussian t ~mean ~stddev =
+  let rec draw () =
+    let u = Random.State.float t 1.0 in
+    if u <= 0.0 then draw () else u
+  in
+  let u1 = draw () and u2 = Random.State.float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))

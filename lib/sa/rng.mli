@@ -1,0 +1,40 @@
+(** Deterministic random-number generation.
+
+    Every stochastic routine in the package threads an explicit [Rng.t], so
+    experiments are exactly reproducible from a seed.  The interface mirrors
+    the primitives the paper's pseudo-code uses: the uniform integer
+    [R(k, l)] and the biased binary choice [R_i(1, 2, p)] of Sec 3.2.1. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** A new generator whose stream is independent of (and deterministic from)
+    the parent's current state. *)
+
+val copy : t -> t
+
+val int_incl : t -> int -> int -> int
+(** [int_incl rng k l] is the paper's [R(k, l)]: uniform on [k, l]
+    inclusive; [k <= l] required. *)
+
+val float : t -> float -> float
+(** Uniform on [0, bound). *)
+
+val unit_float : t -> float
+(** Uniform on [0, 1). *)
+
+val bool_with_prob : t -> float -> bool
+(** [bool_with_prob rng p] is the paper's [R_i(1, 2, p)] collapsed to a
+    boolean: true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a nonempty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller; used by the synthetic workload generator. *)

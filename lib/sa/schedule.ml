@@ -1,0 +1,54 @@
+type t = { breakpoints : (float * float) list; final : float }
+(* [breakpoints] are (absolute threshold, alpha) pairs, thresholds strictly
+   decreasing; alpha of the first pair whose threshold is <= T applies. *)
+
+let custom ~s_t ~breakpoints ~final =
+  if s_t <= 0.0 then invalid_arg "Schedule.custom: s_t <= 0";
+  let rec check = function
+    | (b1, _) :: ((b2, _) :: _ as rest) ->
+        if b1 <= b2 then invalid_arg "Schedule.custom: breakpoints not decreasing";
+        check rest
+    | _ -> ()
+  in
+  check breakpoints;
+  List.iter
+    (fun (_, a) ->
+      if a <= 0.0 || a >= 1.0 then invalid_arg "Schedule.custom: alpha out of (0,1)")
+    ((0.0, final) :: breakpoints);
+  { breakpoints = List.map (fun (b, a) -> (s_t *. b, a)) breakpoints; final }
+
+let stage1 ~s_t =
+  custom ~s_t ~breakpoints:[ (7000., 0.85); (200., 0.92); (10., 0.85) ] ~final:0.80
+
+let stage2 ~s_t = custom ~s_t ~breakpoints:[ (10., 0.82) ] ~final:0.70
+
+let geometric ~alpha = custom ~s_t:1.0 ~breakpoints:[] ~final:alpha
+
+let alpha t t_old =
+  let rec go = function
+    | (threshold, a) :: rest -> if t_old >= threshold then a else go rest
+    | [] -> t.final
+  in
+  go t.breakpoints
+
+let next t t_old = alpha t t_old *. t_old
+
+let reference_avg_cell_area = 1e4
+let reference_t_infinity = 1e5
+
+let s_t ~avg_cell_area =
+  if avg_cell_area <= 0.0 then invalid_arg "Schedule.s_t: nonpositive area";
+  avg_cell_area /. reference_avg_cell_area
+
+let t_infinity ~s_t =
+  if s_t <= 0.0 then invalid_arg "Schedule.t_infinity: s_t <= 0";
+  s_t *. reference_t_infinity
+
+let temperatures t ~t_start ~t_final =
+  if t_start <= 0.0 then invalid_arg "Schedule.temperatures: t_start <= 0";
+  let rec go temp acc =
+    if temp < t_final then List.rev acc else go (next t temp) (temp :: acc)
+  in
+  go t_start []
+
+let n_steps t ~t_start ~t_final = List.length (temperatures t ~t_start ~t_final)

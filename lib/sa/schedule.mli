@@ -1,0 +1,44 @@
+(** Cooling schedules.
+
+    TimberWolfMC updates the temperature multiplicatively,
+    [T_new = α(T_old) · T_old] (Eqn 18), with the piecewise-constant α of
+    Table 1 (stage 1) and Table 2 (stage 2).  The whole profile is scaled by
+    [S_T = c̄_a / c̄_a*] (Eqns 19–21) so circuits of different grid and cell
+    sizes see the same effective schedule; the reference point is a 25-cell
+    circuit with average effective cell area [c̄_a* = 10⁴] annealed from
+    [T∞* = 10⁵]. *)
+
+type t
+
+val stage1 : s_t:float -> t
+(** Table 1: α = 0.85 above [S_T·7000], 0.92 down to [S_T·200], 0.85 down to
+    [S_T·10], then 0.80. *)
+
+val stage2 : s_t:float -> t
+(** Table 2: α = 0.82 above [S_T·10], then 0.70. *)
+
+val custom : s_t:float -> breakpoints:(float * float) list -> final:float -> t
+(** [custom ~s_t ~breakpoints ~final]: each [(b, a)] pair means "α = [a]
+    while [T_old >= S_T·b]"; breakpoints must be strictly decreasing in [b];
+    [final] applies below the last breakpoint. *)
+
+val geometric : alpha:float -> t
+(** Constant α, as used in the Fig 3 experiment (α = 0.90). *)
+
+val alpha : t -> float -> float
+(** [alpha sched t_old] — the multiplier at this temperature. *)
+
+val next : t -> float -> float
+(** [next sched t_old = alpha sched t_old *. t_old]. *)
+
+val s_t : avg_cell_area:float -> float
+(** [S_T] (Eqn 20) with the paper's reference [c̄_a* = 10⁴]. *)
+
+val t_infinity : s_t:float -> float
+(** [T∞ = S_T · 10⁵] (Eqn 21). *)
+
+val temperatures : t -> t_start:float -> t_final:float -> float list
+(** The full decreasing profile from [t_start] until dropping below
+    [t_final] (the final value below [t_final] is not included). *)
+
+val n_steps : t -> t_start:float -> t_final:float -> int

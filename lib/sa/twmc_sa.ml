@@ -1,0 +1,6 @@
+(** Simulated-annealing substrate: deterministic RNG, the TimberWolfMC
+    cooling schedules, and the generic Metropolis engine. *)
+
+module Rng = Rng
+module Schedule = Schedule
+module Anneal = Anneal

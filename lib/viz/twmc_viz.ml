@@ -1,0 +1,4 @@
+(** SVG renderings of placements, channels, and routes. *)
+
+module Svg = Svg
+module Render = Render

@@ -1,0 +1,54 @@
+let base =
+  { Synth.default_spec with
+    frac_custom = 0.2;
+    frac_rectilinear = 0.25;
+    avg_cell_area = 1.0e4;
+    track_spacing = 2 }
+
+(* name, cells, nets, pins, trials — counts from Tables 3 and 4. *)
+let table =
+  [ ("i1", 33, 121, 452, 5);
+    ("p1", 11, 83, 309, 6);
+    ("x1", 10, 267, 762, 4);
+    ("i2", 23, 127, 577, 5);
+    ("i3", 18, 38, 102, 2);
+    ("l1", 62, 570, 4309, 4);
+    ("d2", 20, 656, 1776, 4);
+    ("d1", 17, 288, 837, 4);
+    ("d3", 17, 136, 665, 2) ]
+
+let names = List.map (fun (n, _, _, _, _) -> n) table
+
+let spec name =
+  let n, c, nn, p, _ =
+    List.find (fun (n, _, _, _, _) -> n = name) table
+  in
+  { base with Synth.name = n; n_cells = c; n_nets = nn; n_pins = p }
+
+let netlist ?(seed = 1) name = Synth.generate ~seed (spec name)
+
+let trials name =
+  let _, _, _, _, t = List.find (fun (n, _, _, _, _) -> n = name) table in
+  t
+
+let paper_table3 =
+  [ ("i1", 5.8, 3.0);
+    ("p1", 2.0, -9.2);
+    ("x1", 4.0, 2.5);
+    ("i2", -1.0, -3.8);
+    ("i3", 10.5, -0.5);
+    ("l1", 2.5, -0.5);
+    ("d2", 12.7, 8.5);
+    ("d1", 0.5, 8.25);
+    ("d3", 0.5, -1.0) ]
+
+let paper_table4 =
+  [ ("i1", 26., Some 14.);
+    ("p1", 8., Some 18.);
+    ("x1", 11., Some 15.);
+    ("i2", 49., None);
+    ("i3", 46., Some 56.);
+    ("l1", 19., Some 50.);
+    ("d2", 13., Some 4.);
+    ("d1", 23., None);
+    ("d3", 29., Some 31.) ]

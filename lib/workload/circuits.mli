@@ -1,0 +1,26 @@
+(** The nine test circuits of Tables 3–4, reproduced as synthetic circuits
+    with the published cell/net/pin counts (see DESIGN.md on this
+    substitution). *)
+
+val names : string list
+(** ["i1"; "p1"; "x1"; "i2"; "i3"; "l1"; "d2"; "d1"; "d3"] — the paper's
+    order. *)
+
+val spec : string -> Synth.spec
+(** Raises [Not_found] for an unknown name. *)
+
+val netlist : ?seed:int -> string -> Twmc_netlist.Netlist.t
+(** [netlist name] generates the circuit deterministically; [seed] selects
+    the trial replica (Table 3 runs 2–6 trials per circuit). *)
+
+val trials : string -> int
+(** Number of trials the paper ran for this circuit (Table 3). *)
+
+val paper_table3 : (string * float * float) list
+(** Per circuit: paper-reported stage-2-vs-stage-1 average TEIL reduction %
+    and average area reduction % (Table 3). *)
+
+val paper_table4 : (string * float * float option) list
+(** Per circuit: paper-reported TEIL reduction % and area reduction %
+    versus the comparison placement (Table 4; [None] where the paper marks
+    the comparison unavailable). *)

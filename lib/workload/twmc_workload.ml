@@ -1,0 +1,4 @@
+(** Synthetic workloads standing in for the paper's proprietary circuits. *)
+
+module Synth = Synth
+module Circuits = Circuits

@@ -1,0 +1,169 @@
+(* Tests for the Table 4 baseline placers. *)
+
+open Twmc_baselines
+open Twmc_netlist
+module Rect = Twmc_geometry.Rect
+module Shape = Twmc_geometry.Shape
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let netlist ?(seed = 5) ?(cells = 12) () =
+  Twmc_workload.Synth.generate ~seed
+    { Twmc_workload.Synth.default_spec with
+      Twmc_workload.Synth.n_cells = cells;
+      n_nets = 3 * cells;
+      n_pins = 11 * cells;
+      frac_custom = 0.0 }
+
+(* Expanded bounding boxes of a placement must be pairwise disjoint for a
+   legal constructive placement. *)
+let boxes nl ~expansion positions =
+  Array.to_list
+    (Array.mapi
+       (fun i (x, y) ->
+         let b = Shape.bbox (Cell.variant nl.Netlist.cells.(i) 0).Cell.shape in
+         Rect.expand_uniform (Rect.translate b ~dx:x ~dy:y) expansion)
+       positions)
+
+let assert_legal nl ~expansion (pr : Baseline.placement_result) =
+  let bs = boxes nl ~expansion pr.Baseline.positions in
+  checkb
+    (pr.Baseline.method_name ^ " non-overlapping")
+    true
+    (Twmc_geometry.Rect.pairwise_disjoint bs)
+
+let test_shelf () =
+  let nl = netlist () in
+  let e = Baseline.uniform_expansion nl in
+  let pr = Shelf.place ~expansion:e nl in
+  check "all cells placed" (Netlist.n_cells nl) (Array.length pr.Baseline.positions);
+  assert_legal nl ~expansion:e pr;
+  (* Deterministic. *)
+  let pr2 = Shelf.place ~expansion:e nl in
+  Alcotest.(check bool) "deterministic" true (pr.Baseline.positions = pr2.Baseline.positions)
+
+let test_spectral_laplacian () =
+  let nl = netlist () in
+  let l = Spectral.laplacian nl in
+  let n = Array.length l in
+  for i = 0 to n - 1 do
+    let row_sum = Array.fold_left ( +. ) 0.0 l.(i) in
+    Alcotest.(check (float 1e-9)) "row sums zero" 0.0 row_sum;
+    for j = 0 to n - 1 do
+      Alcotest.(check (float 1e-12)) "symmetric" l.(i).(j) l.(j).(i)
+    done
+  done
+
+let test_jacobi () =
+  (* Random symmetric matrices: A v = lambda v. *)
+  let rng = Twmc_sa.Rng.create ~seed:6 in
+  for _ = 1 to 5 do
+    let n = 6 in
+    let a = Array.make_matrix n n 0.0 in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        let v = Twmc_sa.Rng.float rng 2.0 -. 1.0 in
+        a.(i).(j) <- v;
+        a.(j).(i) <- v
+      done
+    done;
+    let vals, vecs = Spectral.jacobi_eigen a in
+    (* Ascending eigenvalues. *)
+    for k = 0 to n - 2 do
+      checkb "ascending" true (vals.(k) <= vals.(k + 1) +. 1e-9)
+    done;
+    for k = 0 to n - 1 do
+      let v = vecs.(k) in
+      for i = 0 to n - 1 do
+        let av = ref 0.0 in
+        for j = 0 to n - 1 do
+          av := !av +. (a.(i).(j) *. v.(j))
+        done;
+        Alcotest.(check (float 1e-6)) "A v = lambda v" (vals.(k) *. v.(i)) !av
+      done
+    done
+  done
+
+let test_spectral_place () =
+  let nl = netlist () in
+  let e = Baseline.uniform_expansion nl in
+  let pr = Spectral.place ~expansion:e nl in
+  check "all cells placed" (Netlist.n_cells nl) (Array.length pr.Baseline.positions);
+  assert_legal nl ~expansion:e pr
+
+let test_slicing_normalized () =
+  checkb "valid expr" true (Slicing.is_normalized [| 0; 1; -1; 2; -2 |]);
+  checkb "balloting violated" false (Slicing.is_normalized [| 0; -1; 1; -2; 2 |]);
+  checkb "double operator" false (Slicing.is_normalized [| 0; 1; -1; 2; -1; -1 |]);
+  checkb "not enough operators" false (Slicing.is_normalized [| 0; 1; 2; -1 |]);
+  checkb "single operand" true (Slicing.is_normalized [| 0 |])
+
+let test_slicing_place () =
+  let nl = netlist () in
+  let e = Baseline.uniform_expansion nl in
+  let pr = Slicing.place ~expansion:e ~moves_per_cell:150 nl in
+  check "all cells placed" (Netlist.n_cells nl) (Array.length pr.Baseline.positions);
+  assert_legal nl ~expansion:e pr
+
+let test_spread_overlapping () =
+  let nl = netlist () in
+  let e = 3 in
+  (* Everything piled on one point: the spread must separate it. *)
+  let positions = Array.make (Netlist.n_cells nl) (0, 0) in
+  let out = Baseline.spread_overlapping nl ~expansion:e positions in
+  let bs = boxes nl ~expansion:e out in
+  checkb "spread disjoint" true (Twmc_geometry.Rect.pairwise_disjoint bs)
+
+let test_evaluate () =
+  let nl = netlist () in
+  let e = Baseline.uniform_expansion nl in
+  let pr = Shelf.place ~expansion:e nl in
+  let ev = Baseline.evaluate ~expansion:e nl pr in
+  checkb "teil positive" true (ev.Baseline.teil > 0.0);
+  checkb "area positive" true (ev.Baseline.area > 0);
+  Alcotest.(check string) "name carried" "shelf" ev.Baseline.name;
+  (* Area equals the chip bounding box. *)
+  check "bbox area" (Rect.area ev.Baseline.chip) ev.Baseline.area;
+  Alcotest.check_raises "position count mismatch"
+    (Invalid_argument "Baseline.evaluate: position count mismatch") (fun () ->
+      ignore
+        (Baseline.evaluate ~expansion:e nl
+           { Baseline.method_name = "bad"; positions = [| (0, 0) |] }))
+
+(* The headline sanity check: annealing beats every baseline on TEIL for a
+   mid-sized circuit. *)
+let test_twmc_beats_baselines () =
+  let nl = netlist ~seed:11 ~cells:15 () in
+  let e = Baseline.uniform_expansion nl in
+  let evals =
+    List.map
+      (Baseline.evaluate ~expansion:e nl)
+      [ Shelf.place ~expansion:e nl;
+        Spectral.place ~expansion:e nl;
+        Slicing.place ~expansion:e ~moves_per_cell:300 nl ]
+  in
+  let best_teil =
+    List.fold_left (fun acc ev -> Float.min acc ev.Baseline.teil) infinity evals
+  in
+  let params = { Twmc_place.Params.default with Twmc_place.Params.a_c = 60 } in
+  let r =
+    Twmc_place.Stage1.run ~params ~rng:(Twmc_sa.Rng.create ~seed:12) nl
+  in
+  checkb "annealed TEIL beats best baseline" true
+    (r.Twmc_place.Stage1.teil < best_teil)
+
+let () =
+  Alcotest.run "baselines"
+    [ ("shelf", [ Alcotest.test_case "place" `Quick test_shelf ]);
+      ( "spectral",
+        [ Alcotest.test_case "laplacian" `Quick test_spectral_laplacian;
+          Alcotest.test_case "jacobi" `Quick test_jacobi;
+          Alcotest.test_case "place" `Quick test_spectral_place ] );
+      ( "slicing",
+        [ Alcotest.test_case "normalized" `Quick test_slicing_normalized;
+          Alcotest.test_case "place" `Quick test_slicing_place ] );
+      ( "harness",
+        [ Alcotest.test_case "spread" `Quick test_spread_overlapping;
+          Alcotest.test_case "evaluate" `Quick test_evaluate;
+          Alcotest.test_case "twmc beats baselines" `Quick test_twmc_beats_baselines ] ) ]

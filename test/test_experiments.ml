@@ -1,0 +1,90 @@
+(* Tests for the experiment harness utilities (report rendering, profiles,
+   deterministic figures). *)
+
+module Report = Twmc_experiments.Report
+module Profile = Twmc_experiments.Profile
+module Figures = Twmc_experiments.Figures
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_table () =
+  let s =
+    Format.asprintf "%t"
+      (Report.table ~header:[ "a"; "bee" ]
+         ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ])
+  in
+  checkb "header" true (contains s "a    bee");
+  checkb "rule" true (contains s "---");
+  checkb "row" true (contains s "333  4");
+  (* Ragged rows tolerated. *)
+  let s2 =
+    Format.asprintf "%t" (Report.table ~header:[ "x"; "y" ] ~rows:[ [ "1" ] ])
+  in
+  checkb "ragged" true (contains s2 "1")
+
+let test_report_csv () =
+  checks "plain" "a,b\n1,2\n"
+    (Report.csv_string ~header:[ "a"; "b" ] ~rows:[ [ "1"; "2" ] ]);
+  checks "escaped" "a\n\"x,y\"\n"
+    (Report.csv_string ~header:[ "a" ] ~rows:[ [ "x,y" ] ]);
+  checks "quote doubling" "a\n\"he said \"\"hi\"\"\"\n"
+    (Report.csv_string ~header:[ "a" ] ~rows:[ [ "he said \"hi\"" ] ]);
+  let path = Filename.temp_file "twmc" ".csv" in
+  Report.write_csv ~path ~header:[ "h" ] ~rows:[ [ "v" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  checks "written" "h\nv\n" content
+
+let test_profiles () =
+  checkb "quick exists" true (Profile.of_name "quick" = Some Profile.quick);
+  checkb "full exists" true (Profile.of_name "full" = Some Profile.full);
+  checkb "unknown none" true (Profile.of_name "zzz" = None);
+  check "quick a_c" 25 (Profile.params Profile.quick).Twmc_place.Params.a_c;
+  check "full a_c" 400 (Profile.params Profile.full).Twmc_place.Params.a_c;
+  check "full effort" 12
+    (Profile.params Profile.full).Twmc_place.Params.route_effort;
+  check "nine circuits" 9 (List.length Profile.quick.Profile.circuits)
+
+let test_fig1_values () =
+  let samples = Figures.fig1 Format.str_formatter in
+  ignore (Format.flush_str_formatter ());
+  check "five edges" 5 (List.length samples);
+  let v name =
+    List.assoc name samples
+  in
+  Alcotest.(check (float 1e-9)) "center = 4" 4.0 (v "e2 center (~Mx*My)");
+  checkb "corner ~ 1" true (Float.abs (v "e1 corner (~Bx*By)" -. 1.0) < 0.15);
+  checkb "side ~ 2" true (Float.abs (v "e3 mid-left (~Bx*My)" -. 2.0) < 0.15)
+
+let test_fig4_series () =
+  let points = Figures.fig4 Format.str_formatter in
+  ignore (Format.flush_str_formatter ());
+  checkb "many points" true (List.length points >= 10);
+  (* Monotone nonincreasing in T (T listed hot to cold). *)
+  let rec noninc = function
+    | (_, w1) :: ((_, w2) :: _ as rest) -> w1 >= w2 && noninc rest
+    | _ -> true
+  in
+  checkb "window shrinks" true (noninc points);
+  (* A decade of T shrinks the window by exactly rho = 4. *)
+  let w_at t = List.assoc t points in
+  Alcotest.(check (float 1e-6)) "decade ratio 4" 4.0 (w_at 1e5 /. w_at 1e4)
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "report",
+        [ Alcotest.test_case "table" `Quick test_report_table;
+          Alcotest.test_case "csv" `Quick test_report_csv ] );
+      ("profile", [ Alcotest.test_case "profiles" `Quick test_profiles ]);
+      ( "figures",
+        [ Alcotest.test_case "fig1 weights" `Quick test_fig1_values;
+          Alcotest.test_case "fig4 window" `Quick test_fig4_series ] ) ]

@@ -1,0 +1,99 @@
+(* Integration tests: the complete two-stage TimberWolfMC flow. *)
+
+module Rect = Twmc_geometry.Rect
+module Netlist = Twmc_netlist.Netlist
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let netlist () =
+  Twmc_workload.Synth.generate ~seed:41
+    { Twmc_workload.Synth.default_spec with
+      Twmc_workload.Synth.n_cells = 9;
+      n_nets = 26;
+      n_pins = 96;
+      frac_custom = 0.3 }
+
+let params = { Twmc_place.Params.default with Twmc_place.Params.a_c = 60; m_routes = 6 }
+
+let test_full_flow () =
+  let nl = netlist () in
+  let r = Twmc.Flow.run ~params ~seed:2 nl in
+  checkb "teil positive" true (r.Twmc.Flow.teil_final > 0.0);
+  checkb "area positive" true (r.Twmc.Flow.area_final > 0);
+  check "three refinements" 3
+    (List.length r.Twmc.Flow.stage2.Twmc.Stage2.iterations);
+  (* Every refinement saw a usable channel graph and routed nearly all
+     nets. *)
+  List.iter
+    (fun (it : Twmc.Stage2.iteration) ->
+      checkb "regions found" true (it.Twmc.Stage2.regions > 5);
+      checkb "mostly routed" true
+        (it.Twmc.Stage2.routed_nets
+        >= (it.Twmc.Stage2.routed_nets + it.Twmc.Stage2.unroutable_nets) * 8 / 10))
+    r.Twmc.Flow.stage2.Twmc.Stage2.iterations;
+  (* The final placement is essentially overlap-free relative to cell
+     area. *)
+  let p = r.Twmc.Flow.stage2.Twmc.Stage2.placement in
+  let total = float_of_int (Netlist.total_cell_area nl) in
+  checkb "final overlap small" true
+    (Twmc_place.Placement.c2_raw p /. total < 0.10);
+  Twmc_place.Placement.verify_consistency p;
+  (* Final routing exists. *)
+  (match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
+  | Some route ->
+      checkb "final route nets" true
+        (List.length route.Twmc_route.Global_router.routed > 0)
+  | None -> Alcotest.fail "final route missing");
+  (* The chip bbox contains every expanded tile. *)
+  for ci = 0 to Netlist.n_cells nl - 1 do
+    List.iter
+      (fun t -> checkb "tile inside chip" true (Rect.contains_rect r.Twmc.Flow.chip t))
+      (Twmc_place.Placement.expanded_tiles p ci)
+  done
+
+let test_flow_determinism () =
+  let nl = netlist () in
+  let small = { params with Twmc_place.Params.a_c = 15 } in
+  let r1 = Twmc.Flow.run ~params:small ~seed:3 nl in
+  let r2 = Twmc.Flow.run ~params:small ~seed:3 nl in
+  Alcotest.(check (float 1e-9)) "same final TEIL" r1.Twmc.Flow.teil_final
+    r2.Twmc.Flow.teil_final;
+  check "same final area" r1.Twmc.Flow.area_final r2.Twmc.Flow.area_final
+
+let test_required_expansions () =
+  let nl = netlist () in
+  let r = Twmc.Flow.run ~params ~seed:4 nl in
+  match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
+  | None -> Alcotest.fail "route missing"
+  | Some route ->
+      let p = r.Twmc.Flow.stage2.Twmc.Stage2.placement in
+      let exps = Twmc.Stage2.required_expansions p route in
+      let ts = nl.Twmc_netlist.Netlist.track_spacing in
+      Array.iter
+        (fun (l, r_, b, t) ->
+          List.iter
+            (fun e -> checkb "one-track floor" true (e >= ts))
+            [ l; r_; b; t ])
+        exps
+
+let test_stage2_converges () =
+  (* Table 3's qualitative claim: the stage-2/stage-1 TEIL and area ratios
+     are close to 1 (the dynamic estimator already allocated roughly the
+     right space).  Allow a generous band — quick-profile runs are noisy. *)
+  let nl = netlist () in
+  let r = Twmc.Flow.run ~params ~seed:5 nl in
+  let teil_ratio = r.Twmc.Flow.teil_final /. r.Twmc.Flow.teil_stage1 in
+  let area_ratio =
+    float_of_int r.Twmc.Flow.area_final /. float_of_int r.Twmc.Flow.area_stage1
+  in
+  checkb "teil ratio near 1" true (teil_ratio > 0.7 && teil_ratio < 1.4);
+  checkb "area ratio near 1" true (area_ratio > 0.7 && area_ratio < 1.5)
+
+let () =
+  Alcotest.run "flow"
+    [ ( "flow",
+        [ Alcotest.test_case "full flow" `Slow test_full_flow;
+          Alcotest.test_case "determinism" `Slow test_flow_determinism;
+          Alcotest.test_case "required expansions" `Slow test_required_expansions;
+          Alcotest.test_case "stage2 convergence" `Slow test_stage2_converges ] ) ]

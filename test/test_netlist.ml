@@ -1,0 +1,347 @@
+(* Tests for the netlist data model, builder, parser and writer. *)
+
+open Twmc_netlist
+module Shape = Twmc_geometry.Shape
+module Orient = Twmc_geometry.Orient
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ----------------------------------------------------------------- Pin *)
+
+let test_pin () =
+  let p = Pin.fixed ~name:"a" ~net:3 ~x:1 ~y:2 () in
+  checkb "committed" true (Pin.is_committed p);
+  let u = Pin.uncommitted ~name:"b" ~net:0 ~group:1 ~seq:0 Pin.Any_edge in
+  checkb "uncommitted" false (Pin.is_committed u);
+  Alcotest.check_raises "seq without group"
+    (Invalid_argument "Pin.uncommitted: seq requires a group") (fun () ->
+      ignore (Pin.uncommitted ~name:"c" ~net:0 ~seq:1 Pin.Any_edge))
+
+(* ----------------------------------------------------------- Pin sites *)
+
+let test_pin_sites () =
+  let edges = Shape.boundary_edges (Shape.rectangle ~w:40 ~h:20) in
+  let sites = Pin_site.sites_of_edges ~sites_per_edge:4 ~track_spacing:2 edges in
+  check "site count" 16 (Array.length sites);
+  Array.iter
+    (fun (s : Pin_site.t) ->
+      checkb "capacity positive" true (s.Pin_site.capacity >= 1))
+    sites;
+  List.iter
+    (fun side ->
+      checkb
+        (Printf.sprintf "side %s present" (Side.to_string side))
+        true
+        (Array.exists (fun (s : Pin_site.t) -> Side.equal s.Pin_site.side side) sites))
+    Side.all;
+  let tiny = Shape.boundary_edges (Shape.rectangle ~w:3 ~h:3) in
+  let sites = Pin_site.sites_of_edges ~sites_per_edge:8 ~track_spacing:2 tiny in
+  checkb "tiny edge sites" true (Array.length sites >= 4)
+
+(* ---------------------------------------------------------------- Cell *)
+
+let test_macro_cell () =
+  let shape = Shape.rectangle ~w:100 ~h:60 in
+  let pins =
+    [ Pin.fixed ~name:"a" ~net:0 ~x:0 ~y:30 ();
+      Pin.fixed ~name:"b" ~net:1 ~x:100 ~y:30 () ]
+  in
+  let c = Cell.macro ~name:"m" ~shape ~pins in
+  check "one variant" 1 (Cell.n_variants c);
+  check "pins" 2 (Cell.n_pins c);
+  check "area" 6000 (Cell.base_area c);
+  let pos o i =
+    Cell.pin_local_pos c ~variant:0 ~orient:o
+      ~site_of_pin:(fun _ -> assert false)
+      i
+  in
+  Alcotest.(check (pair int int)) "recentered pin" (-50, 0) (pos Orient.R0 0);
+  Alcotest.(check (pair int int)) "R180 pin" (50, 0) (pos Orient.R180 0)
+
+let test_macro_errors () =
+  let shape = Shape.rectangle ~w:10 ~h:10 in
+  Alcotest.check_raises "uncommitted pin on macro"
+    (Invalid_argument "Cell.macro m: pin p is uncommitted") (fun () ->
+      ignore
+        (Cell.macro ~name:"m" ~shape
+           ~pins:[ Pin.uncommitted ~name:"p" ~net:0 Pin.Any_edge ]));
+  Alcotest.check_raises "pin outside"
+    (Invalid_argument "Cell.macro m: pin p outside bounding box") (fun () ->
+      ignore
+        (Cell.macro ~name:"m" ~shape
+           ~pins:[ Pin.fixed ~name:"p" ~net:0 ~x:50 ~y:50 () ]))
+
+let test_custom_cell () =
+  let pins =
+    [ Pin.uncommitted ~name:"a" ~net:0 Pin.Any_edge;
+      Pin.uncommitted ~name:"b" ~net:1 (Pin.Sides [ Side.Left ]) ]
+  in
+  let c =
+    Cell.custom ~name:"s" ~area:5000 ~aspect_lo:0.5 ~aspect_hi:2.0 ~n_variants:5
+      ~track_spacing:2 ~pins ()
+  in
+  check "variants" 5 (Cell.n_variants c);
+  let aspects = List.init 5 (fun i -> (Cell.variant c i).Cell.aspect) in
+  checkb "aspects increasing" true
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < 4) aspects)
+       (List.tl aspects));
+  checkb "low aspect small" true (List.hd aspects < 0.85);
+  checkb "high aspect large" true (List.nth aspects 4 > 1.3);
+  List.iter
+    (fun i ->
+      let a = Shape.area (Cell.variant c i).Cell.shape in
+      checkb "area close" true (abs (a - 5000) < 500))
+    (List.init 5 Fun.id);
+  List.iter
+    (fun v ->
+      let allowed = Cell.allowed_sites c ~variant:v 1 in
+      checkb "some site" true (allowed <> []);
+      List.iter
+        (fun s ->
+          checkb "left only" true
+            (Side.equal (Cell.variant c v).Cell.sites.(s).Pin_site.side Side.Left))
+        allowed)
+    (List.init 5 Fun.id);
+  let v0 = Cell.variant c 0 in
+  check "any-edge allowed count"
+    (Array.length v0.Cell.sites)
+    (List.length (Cell.allowed_sites c ~variant:0 0))
+
+let test_custom_instances () =
+  let c =
+    Cell.custom_instances ~name:"i"
+      ~shapes:[ Shape.rectangle ~w:40 ~h:20; Shape.rectangle ~w:20 ~h:40 ]
+      ~track_spacing:2
+      ~pins:[ Pin.uncommitted ~name:"p" ~net:0 Pin.Any_edge ]
+      ()
+  in
+  check "two variants" 2 (Cell.n_variants c);
+  checkb "aspect differs" true
+    ((Cell.variant c 0).Cell.aspect <> (Cell.variant c 1).Cell.aspect)
+
+let test_static_pins_per_edge () =
+  let shape = Shape.rectangle ~w:100 ~h:60 in
+  let pins =
+    [ Pin.fixed ~name:"a" ~net:0 ~x:0 ~y:30 ();
+      Pin.fixed ~name:"b" ~net:1 ~x:0 ~y:10 ();
+      Pin.fixed ~name:"c" ~net:2 ~x:50 ~y:60 () ]
+  in
+  let c = Cell.macro ~name:"m" ~shape ~pins in
+  let counts = Cell.static_pins_per_edge c ~variant:0 in
+  Alcotest.(check (float 1e-9))
+    "sums to pins" 3.0
+    (Array.fold_left ( +. ) 0.0 counts);
+  let cu =
+    Cell.custom ~name:"u" ~area:2500 ~aspect_lo:1.0 ~aspect_hi:1.0
+      ~track_spacing:2
+      ~pins:[ Pin.uncommitted ~name:"p" ~net:0 Pin.Any_edge ]
+      ()
+  in
+  let counts = Cell.static_pins_per_edge cu ~variant:0 in
+  Alcotest.(check (float 1e-9))
+    "fractional spread" 1.0
+    (Array.fold_left ( +. ) 0.0 counts);
+  Array.iter
+    (fun c -> Alcotest.(check (float 1e-9)) "quarter each" 0.25 c)
+    counts
+
+(* ------------------------------------------------------------- Netlist *)
+
+let tiny_netlist () =
+  let b = Builder.create ~name:"tiny" ~track_spacing:2 in
+  Builder.add_macro b ~name:"m0"
+    ~shape:(Shape.rectangle ~w:20 ~h:20)
+    ~pins:
+      [ Builder.at ~name:"p0" ~net:"n0" (0, 10);
+        Builder.at ~name:"p1" ~net:"n1" (20, 10) ];
+  Builder.add_macro b ~name:"m1"
+    ~shape:(Shape.rectangle ~w:30 ~h:10)
+    ~pins:
+      [ Builder.at ~name:"p0" ~net:"n0" (0, 5);
+        Builder.at ~name:"p1" ~net:"n1" (30, 5) ];
+  Builder.set_net_weight b ~net:"n1" ~h:2.0 ~v:0.5;
+  Builder.build b
+
+let test_netlist_build () =
+  let nl = tiny_netlist () in
+  check "cells" 2 (Netlist.n_cells nl);
+  check "nets" 2 (Netlist.n_nets nl);
+  check "pins" 4 (Netlist.total_pins nl);
+  check "cell index" 1 (Netlist.cell_index nl "m1");
+  check "net index" 0 (Netlist.net_index nl "n0");
+  Alcotest.check_raises "unknown cell" Not_found (fun () ->
+      ignore (Netlist.cell_index nl "zz"));
+  let n1 = nl.Netlist.nets.(Netlist.net_index nl "n1") in
+  Alcotest.(check (float 0.0)) "hweight" 2.0 n1.Net.hweight;
+  check "nets of cell 0" 2 (List.length nl.Netlist.nets_of_cell.(0));
+  check "total area" (400 + 300) (Netlist.total_cell_area nl);
+  checkb "pin density positive" true (Netlist.average_pin_density nl > 0.0)
+
+let test_netlist_validation () =
+  let b = Builder.create ~name:"bad" ~track_spacing:2 in
+  Builder.add_macro b ~name:"m0"
+    ~shape:(Shape.rectangle ~w:20 ~h:20)
+    ~pins:
+      [ Builder.at ~name:"p0" ~net:"solo" (0, 10);
+        Builder.at ~name:"p1" ~net:"pair" (20, 10) ];
+  Builder.add_macro b ~name:"m1"
+    ~shape:(Shape.rectangle ~w:20 ~h:20)
+    ~pins:[ Builder.at ~name:"p0" ~net:"pair" (0, 10) ];
+  checkb "single-pin net rejected" true
+    (try
+       ignore (Builder.build b);
+       false
+     with Invalid_argument _ -> true);
+  let b2 = Builder.create ~name:"bad2" ~track_spacing:2 in
+  Builder.add_macro b2 ~name:"m0"
+    ~shape:(Shape.rectangle ~w:20 ~h:20)
+    ~pins:
+      [ Builder.at ~name:"a" ~net:"x" (0, 10);
+        Builder.at ~name:"b" ~net:"x" (20, 10) ];
+  Builder.set_net_weight b2 ~net:"ghost" ~h:1.0 ~v:1.0;
+  checkb "dangling weight rejected" true
+    (try
+       ignore (Builder.build b2);
+       false
+     with Invalid_argument _ -> true)
+
+(* -------------------------------------------------------------- Parser *)
+
+let sample =
+  {|# sample circuit
+circuit demo
+track_spacing 2
+net clk weight 2.0 1.5
+
+cell ram macro
+  tile 0 0 100 80
+  tile 0 80 60 120
+  pin a net clk at 0 40
+  pin b net d0 at 100 10 equiv 1
+end
+
+cell alu custom area 5000 aspect 0.5 2.0 variants 3 sites 6
+  pin x net clk on any
+  pin y net d0 on left,top group 1 seq 0
+  pin z net d1 on left,top group 1 seq 1
+end
+
+cell pad instances sites 4
+  instance
+    tile 0 0 40 30
+  endinstance
+  instance
+    tile 0 0 30 40
+  endinstance
+  pin p net d1 on any
+end
+|}
+
+let test_parser () =
+  let nl = Parser.parse_string sample in
+  check "cells" 3 (Netlist.n_cells nl);
+  check "nets" 3 (Netlist.n_nets nl);
+  check "pins" 6 (Netlist.total_pins nl);
+  let ram = nl.Netlist.cells.(Netlist.cell_index nl "ram") in
+  checkb "ram is macro" true (ram.Cell.kind = Cell.Macro);
+  check "ram 6 edges (L-shape)" 6 (List.length (Cell.variant ram 0).Cell.edges);
+  let alu = nl.Netlist.cells.(Netlist.cell_index nl "alu") in
+  check "alu variants" 3 (Cell.n_variants alu);
+  checkb "alu pin y grouped" true (alu.Cell.pins.(1).Pin.group = Some 1);
+  checkb "alu pin z seq" true (alu.Cell.pins.(2).Pin.seq = Some 1);
+  let pad = nl.Netlist.cells.(Netlist.cell_index nl "pad") in
+  check "pad instances" 2 (Cell.n_variants pad);
+  let clk = nl.Netlist.nets.(Netlist.net_index nl "clk") in
+  Alcotest.(check (float 0.0)) "clk weight" 2.0 clk.Net.hweight;
+  checkb "equiv parsed" true (ram.Cell.pins.(1).Pin.equiv = Some 1)
+
+let expect_parse_error ~line text =
+  match Parser.parse_string text with
+  | exception Parser.Parse_error (l, _) ->
+      check (Printf.sprintf "error line for %S" text) line l
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parser_errors () =
+  expect_parse_error ~line:1 "bogus stuff";
+  expect_parse_error ~line:1 "end";
+  expect_parse_error ~line:3 "circuit c\ntrack_spacing 2\ncell x macro extra";
+  expect_parse_error ~line:4
+    "circuit c\ntrack_spacing 2\ncell x macro\n  tile 1 2 3";
+  (match
+     Parser.parse_string
+       "circuit c\ntrack_spacing 2\ncell x macro\n  tile 0 0 5 5"
+   with
+  | exception Parser.Parse_error (_, msg) ->
+      checkb "unterminated" true (String.sub msg 0 12 = "unterminated")
+  | _ -> Alcotest.fail "expected parse error");
+  expect_parse_error ~line:1 "cell x macro"
+
+let test_roundtrip () =
+  let nl = Parser.parse_string sample in
+  let text = Writer.to_string nl in
+  let nl2 = Parser.parse_string text in
+  check "cells" (Netlist.n_cells nl) (Netlist.n_cells nl2);
+  check "nets" (Netlist.n_nets nl) (Netlist.n_nets nl2);
+  check "pins" (Netlist.total_pins nl) (Netlist.total_pins nl2);
+  check "area" (Netlist.total_cell_area nl) (Netlist.total_cell_area nl2);
+  Array.iteri
+    (fun ci (c : Cell.t) ->
+      let c2 = nl2.Netlist.cells.(ci) in
+      Alcotest.(check string) "cell name" c.Cell.name c2.Cell.name;
+      check "variant count" (Cell.n_variants c) (Cell.n_variants c2);
+      Array.iteri
+        (fun pi (p : Pin.t) ->
+          let p2 = c2.Cell.pins.(pi) in
+          Alcotest.(check string) "pin name" p.Pin.name p2.Pin.name;
+          check "pin net" p.Pin.net p2.Pin.net;
+          checkb "pin group" true (p.Pin.group = p2.Pin.group))
+        c.Cell.pins)
+    nl.Netlist.cells;
+  Alcotest.(check string) "writer idempotent" text (Writer.to_string nl2)
+
+let test_roundtrip_synthetic () =
+  let nl =
+    Twmc_workload.Synth.generate ~seed:3
+      { Twmc_workload.Synth.default_spec with
+        Twmc_workload.Synth.n_cells = 15;
+        n_nets = 40;
+        n_pins = 150 }
+  in
+  let nl2 = Parser.parse_string (Writer.to_string nl) in
+  check "cells" (Netlist.n_cells nl) (Netlist.n_cells nl2);
+  check "pins" (Netlist.total_pins nl) (Netlist.total_pins nl2);
+  check "area" (Netlist.total_cell_area nl) (Netlist.total_cell_area nl2)
+
+(* --------------------------------------------------------------- Stats *)
+
+let test_stats () =
+  let nl = tiny_netlist () in
+  let s = Stats.of_netlist nl in
+  check "cells" 2 s.Stats.n_cells;
+  check "macros" 2 s.Stats.n_macro;
+  check "customs" 0 s.Stats.n_custom;
+  check "max degree" 2 s.Stats.max_net_degree;
+  Alcotest.(check (float 1e-9)) "pins per net" 2.0 s.Stats.avg_pins_per_net
+
+let () =
+  Alcotest.run "netlist"
+    [ ( "pin",
+        [ Alcotest.test_case "constructors" `Quick test_pin;
+          Alcotest.test_case "sites" `Quick test_pin_sites ] );
+      ( "cell",
+        [ Alcotest.test_case "macro" `Quick test_macro_cell;
+          Alcotest.test_case "macro errors" `Quick test_macro_errors;
+          Alcotest.test_case "custom" `Quick test_custom_cell;
+          Alcotest.test_case "instances" `Quick test_custom_instances;
+          Alcotest.test_case "pins per edge" `Quick test_static_pins_per_edge ] );
+      ( "netlist",
+        [ Alcotest.test_case "build" `Quick test_netlist_build;
+          Alcotest.test_case "validation" `Quick test_netlist_validation;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "parser",
+        [ Alcotest.test_case "parse" `Quick test_parser;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "roundtrip synthetic" `Quick test_roundtrip_synthetic ] ) ]

@@ -1,0 +1,412 @@
+(* Tests for the global router: M-shortest paths, Steiner enumeration,
+   route assignment (Sec 4.2). *)
+
+open Twmc_route
+module Rect = Twmc_geometry.Rect
+module Region = Twmc_channel.Region
+module Graph = Twmc_channel.Graph
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A w x h grid of cell-sized regions; node (i,j) = i + j*w, unit hop
+   length = cell size. *)
+let grid ~w ~h ~cell =
+  let dummy_edge pos =
+    Twmc_geometry.Edge.make Twmc_geometry.Edge.V ~pos
+      ~span:(Twmc_geometry.Interval.make 0 1)
+      ~side:Twmc_geometry.Edge.High
+  in
+  let regions =
+    List.concat_map
+      (fun j ->
+        List.init w (fun i ->
+            { Region.rect =
+                Rect.make ~x0:(i * cell) ~y0:(j * cell) ~x1:((i + 1) * cell)
+                  ~y1:((j + 1) * cell);
+              dir = Region.V;
+              lo_owner = Region.Boundary;
+              hi_owner = Region.Boundary;
+              lo_edge = dummy_edge (i * cell);
+              hi_edge = dummy_edge ((i + 1) * cell) }))
+      (List.init h Fun.id)
+  in
+  Graph.build ~track_spacing:2 regions
+
+(* A simple path graph 0 - 1 - 2 - ... - (n-1). *)
+let line n ~cell =
+  grid ~w:n ~h:1 ~cell
+
+(* ----------------------------------------------------------- Mshortest *)
+
+let test_shortest_line () =
+  let g = line 5 ~cell:10 in
+  match Mshortest.shortest g ~sources:[ 0 ] ~targets:[ 4 ] with
+  | Some p ->
+      check "length" 40 p.Mshortest.length;
+      Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3; 4 ] p.Mshortest.nodes;
+      check "edges" 4 (List.length p.Mshortest.edges)
+  | None -> Alcotest.fail "path expected"
+
+let test_shortest_trivial_and_disconnected () =
+  let g = line 3 ~cell:10 in
+  (match Mshortest.shortest g ~sources:[ 1 ] ~targets:[ 1 ] with
+  | Some p ->
+      check "zero length" 0 p.Mshortest.length;
+      Alcotest.(check (list int)) "single node" [ 1 ] p.Mshortest.nodes
+  | None -> Alcotest.fail "trivial path expected");
+  checkb "empty sources" true
+    (Mshortest.shortest g ~sources:[] ~targets:[ 1 ] = None);
+  (* Two disconnected single-region graphs. *)
+  let dummy_edge pos =
+    Twmc_geometry.Edge.make Twmc_geometry.Edge.V ~pos
+      ~span:(Twmc_geometry.Interval.make 0 1)
+      ~side:Twmc_geometry.Edge.High
+  in
+  let region rect =
+    { Region.rect;
+      dir = Region.V;
+      lo_owner = Region.Boundary;
+      hi_owner = Region.Boundary;
+      lo_edge = dummy_edge 0;
+      hi_edge = dummy_edge 1 }
+  in
+  let g2 =
+    Graph.build ~track_spacing:2
+      [ region (Rect.make ~x0:0 ~y0:0 ~x1:5 ~y1:5);
+        region (Rect.make ~x0:50 ~y0:50 ~x1:55 ~y1:55) ]
+  in
+  checkb "disconnected" true
+    (Mshortest.shortest g2 ~sources:[ 0 ] ~targets:[ 1 ] = None)
+
+let test_multi_source_target () =
+  let g = line 7 ~cell:10 in
+  (* Sources {0, 5}, target {3}: nearer source (5) wins. *)
+  match Mshortest.shortest g ~sources:[ 0; 5 ] ~targets:[ 3 ] with
+  | Some p ->
+      check "length from nearer source" 20 p.Mshortest.length;
+      checkb "starts at 5" true (List.hd p.Mshortest.nodes = 5)
+  | None -> Alcotest.fail "path expected"
+
+let test_k_shortest_grid () =
+  let g = grid ~w:4 ~h:3 ~cell:10 in
+  let paths = Mshortest.k_shortest g ~k:8 ~sources:[ 0 ] ~targets:[ 11 ] in
+  checkb "several paths" true (List.length paths >= 4);
+  (* Nondecreasing lengths. *)
+  let rec nondec = function
+    | (a : Mshortest.path) :: (b :: _ as rest) ->
+        a.Mshortest.length <= b.Mshortest.length && nondec rest
+    | _ -> true
+  in
+  checkb "sorted" true (nondec paths);
+  (* Distinct node sequences, loopless. *)
+  let seqs = List.map (fun (p : Mshortest.path) -> p.Mshortest.nodes) paths in
+  check "distinct" (List.length seqs)
+    (List.length (List.sort_uniq compare seqs));
+  List.iter
+    (fun (p : Mshortest.path) ->
+      check "loopless"
+        (List.length p.Mshortest.nodes)
+        (List.length (List.sort_uniq compare p.Mshortest.nodes)))
+    paths;
+  (* Shortest is a Manhattan-optimal route in the diagonal-enabled grid:
+     with corner adjacency, the diagonal distance dominates. *)
+  let best = List.hd paths in
+  checkb "first is shortest" true
+    (List.for_all
+       (fun (p : Mshortest.path) -> p.Mshortest.length >= best.Mshortest.length)
+       paths)
+
+let test_k_shortest_exhausts () =
+  let g = line 4 ~cell:10 in
+  (* Only one loopless path exists along a line. *)
+  let paths = Mshortest.k_shortest g ~k:10 ~sources:[ 0 ] ~targets:[ 3 ] in
+  check "single path" 1 (List.length paths)
+
+(* ------------------------------------------------------------- Steiner *)
+
+let test_steiner_two_pin () =
+  let g = grid ~w:5 ~h:4 ~cell:10 in
+  let direct = Mshortest.k_shortest g ~k:5 ~sources:[ 0 ] ~targets:[ 19 ] in
+  let routes = Steiner.routes g ~m:5 ~terminals:[ [ 0 ]; [ 19 ] ] in
+  checkb "routes found" true (routes <> []);
+  check "two-pin = shortest path"
+    (List.hd direct).Mshortest.length
+    (List.hd routes).Steiner.length
+
+let connected g (r : Steiner.route) =
+  (* The route's edges form a connected subgraph over its nodes. *)
+  match r.Steiner.nodes with
+  | [] -> true
+  | start :: _ ->
+      let adj = Hashtbl.create 8 in
+      List.iter
+        (fun eid ->
+          let e = g.Graph.edges.(eid) in
+          Hashtbl.replace adj e.Graph.a
+            (e.Graph.b :: (try Hashtbl.find adj e.Graph.a with Not_found -> []));
+          Hashtbl.replace adj e.Graph.b
+            (e.Graph.a :: (try Hashtbl.find adj e.Graph.b with Not_found -> [])))
+        r.Steiner.edges;
+      let seen = Hashtbl.create 8 in
+      let rec dfs v =
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          List.iter dfs (try Hashtbl.find adj v with Not_found -> [])
+        end
+      in
+      dfs start;
+      List.for_all (Hashtbl.mem seen) r.Steiner.nodes
+
+let test_steiner_multi_pin () =
+  let g = grid ~w:6 ~h:5 ~cell:10 in
+  let terminals = [ [ 0 ]; [ 5 ]; [ 24 ]; [ 29 ] ] in
+  let routes = Steiner.routes g ~m:10 ~terminals in
+  checkb "routes found" true (List.length routes >= 3);
+  List.iter
+    (fun (r : Steiner.route) ->
+      (* Every terminal covered by some candidate node. *)
+      List.iter
+        (fun term ->
+          checkb "terminal covered" true
+            (List.exists (fun c -> List.mem c r.Steiner.nodes) term))
+        terminals;
+      checkb "route connected" true (connected g r);
+      (* Length equals the sum of unique edges. *)
+      let len =
+        List.fold_left
+          (fun acc e -> acc + g.Graph.edges.(e).Graph.length)
+          0 r.Steiner.edges
+      in
+      check "length consistent" len r.Steiner.length)
+    routes;
+  (* Sorted by length. *)
+  let rec nondec = function
+    | (a : Steiner.route) :: (b :: _ as rest) ->
+        a.Steiner.length <= b.Steiner.length && nondec rest
+    | _ -> true
+  in
+  checkb "sorted" true (nondec routes)
+
+let test_steiner_equivalent_pins () =
+  let g = line 10 ~cell:10 in
+  (* Terminal 2 may connect at node 1 (near) or node 8 (far): the best
+     route uses the near candidate. *)
+  let routes = Steiner.routes g ~m:5 ~terminals:[ [ 0 ]; [ 8; 1 ] ] in
+  checkb "found" true (routes <> []);
+  check "uses near equivalent" 10 (List.hd routes).Steiner.length
+
+let test_steiner_prim_k () =
+  let g = grid ~w:6 ~h:5 ~cell:10 in
+  let terminals = [ [ 0 ]; [ 5 ]; [ 24 ]; [ 29 ] ] in
+  let r1 = Steiner.routes g ~m:8 ~terminals in
+  let r2 = Steiner.routes ~prim_k:3 g ~m:8 ~terminals in
+  checkb "prim_k finds routes" true (r2 <> []);
+  (* Exploring more orders can only improve (or match) the best length. *)
+  checkb "prim_k no worse" true
+    ((List.hd r2).Steiner.length <= (List.hd r1).Steiner.length);
+  (* Results remain sorted and within m. *)
+  checkb "within m" true (List.length r2 <= 8);
+  let rec nondec = function
+    | (a : Steiner.route) :: (b :: _ as rest) ->
+        a.Steiner.length <= b.Steiner.length && nondec rest
+    | _ -> true
+  in
+  checkb "sorted" true (nondec r2)
+
+let test_steiner_unreachable () =
+  let dummy_edge pos =
+    Twmc_geometry.Edge.make Twmc_geometry.Edge.V ~pos
+      ~span:(Twmc_geometry.Interval.make 0 1)
+      ~side:Twmc_geometry.Edge.High
+  in
+  let region rect =
+    { Region.rect;
+      dir = Region.V;
+      lo_owner = Region.Boundary;
+      hi_owner = Region.Boundary;
+      lo_edge = dummy_edge 0;
+      hi_edge = dummy_edge 1 }
+  in
+  let g =
+    Graph.build ~track_spacing:2
+      [ region (Rect.make ~x0:0 ~y0:0 ~x1:5 ~y1:5);
+        region (Rect.make ~x0:50 ~y0:50 ~x1:55 ~y1:55) ]
+  in
+  Alcotest.(check (list reject)) "no route"
+    []
+    (List.map (fun _ -> Alcotest.fail "route?") (Steiner.routes g ~m:5 ~terminals:[ [ 0 ]; [ 1 ] ]))
+
+(* -------------------------------------------------------------- Assign *)
+
+(* A 4-cycle ring: node 0 (bottom) and node 2 (top) are joined by exactly
+   two edge-disjoint routes, via node 1 (right) or node 3 (left). *)
+let ring () =
+  let de pos =
+    Twmc_geometry.Edge.make Twmc_geometry.Edge.V ~pos
+      ~span:(Twmc_geometry.Interval.make 0 1)
+      ~side:Twmc_geometry.Edge.High
+  in
+  let region rect =
+    { Region.rect;
+      dir = Region.V;
+      lo_owner = Region.Boundary;
+      hi_owner = Region.Boundary;
+      lo_edge = de rect.Rect.x0;
+      hi_edge = de rect.Rect.x1 }
+  in
+  (* ts=10 with thickness 10 gives capacity 1 per graph edge. *)
+  Graph.build ~track_spacing:10
+    [ region (Rect.make ~x0:0 ~y0:0 ~x1:30 ~y1:10);
+      (* 0: bottom *)
+      region (Rect.make ~x0:20 ~y0:10 ~x1:30 ~y1:40);
+      (* 1: right *)
+      region (Rect.make ~x0:0 ~y0:40 ~x1:30 ~y1:50);
+      (* 2: top *)
+      region (Rect.make ~x0:0 ~y0:10 ~x1:10 ~y1:40) (* 3: left *) ]
+
+let test_assign_resolves_conflict () =
+  let g = ring () in
+  check "four edges" 4 (Graph.n_edges g);
+  let r01 = Steiner.routes g ~m:4 ~terminals:[ [ 0 ]; [ 2 ] ] in
+  check "both disjoint routes found" 2 (List.length r01);
+  let alternatives = [| Array.of_list r01; Array.of_list r01 |] in
+  let res =
+    Assign.run ~m:4 ~rng:(Twmc_sa.Rng.create ~seed:4) ~graph:g ~alternatives ()
+  in
+  checkb "overflow reduced" true (res.Assign.overflow = 0);
+  checkb "nets took different routes" true
+    (res.Assign.chosen.(0) <> res.Assign.chosen.(1));
+  (* Densities consistent with choices. *)
+  let expect = Array.make (Graph.n_edges g) 0 in
+  Array.iteri
+    (fun i k ->
+      List.iter
+        (fun e -> expect.(e) <- expect.(e) + 1)
+        alternatives.(i).(k).Steiner.edges)
+    res.Assign.chosen;
+  Alcotest.(check (array int)) "densities" expect res.Assign.edge_density
+
+let test_assign_keeps_shortest_when_free () =
+  let g = grid ~w:4 ~h:3 ~cell:20 in
+  (* Plenty of capacity: everyone keeps the k=1 route and stops at once. *)
+  let r = Steiner.routes g ~m:5 ~terminals:[ [ 0 ]; [ 11 ] ] in
+  let alternatives = [| Array.of_list r |] in
+  let res =
+    Assign.run ~m:5 ~rng:(Twmc_sa.Rng.create ~seed:5) ~graph:g ~alternatives ()
+  in
+  check "kept k=1" 0 res.Assign.chosen.(0);
+  check "no attempts needed" 0 res.Assign.attempts;
+  check "overflow 0" 0 res.Assign.overflow
+
+let test_assign_rejects_empty () =
+  let g = line 3 ~cell:10 in
+  checkb "empty alternative rejected" true
+    (try
+       ignore
+         (Assign.run ~rng:(Twmc_sa.Rng.create ~seed:6) ~graph:g
+            ~alternatives:[| [||] |] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------- Global router *)
+
+let test_global_router_end_to_end () =
+  (* Build a real placement, channels, and route every net. *)
+  let nl =
+    Twmc_workload.Synth.generate ~seed:31
+      { Twmc_workload.Synth.default_spec with
+        Twmc_workload.Synth.n_cells = 8;
+        n_nets = 24;
+        n_pins = 80 }
+  in
+  let params = { Twmc_place.Params.default with Twmc_place.Params.a_c = 20 } in
+  let r = Twmc_place.Stage1.run ~params ~rng:(Twmc_sa.Rng.create ~seed:7) nl in
+  let p = r.Twmc_place.Stage1.placement in
+  let regions = Twmc_channel.Extract.of_placement p in
+  let g =
+    Graph.build ~track_spacing:nl.Twmc_netlist.Netlist.track_spacing regions
+  in
+  let tasks = Twmc_channel.Pin_map.tasks g p in
+  let res =
+    Global_router.route ~m:8 ~rng:(Twmc_sa.Rng.create ~seed:8) ~graph:g ~tasks ()
+  in
+  checkb "most nets routed" true
+    (List.length res.Global_router.routed
+    >= (List.length tasks * 9 / 10));
+  checkb "total length positive" true (res.Global_router.total_length > 0);
+  (* Edge densities tally with the chosen routes. *)
+  let expect = Array.make (Graph.n_edges g) 0 in
+  List.iter
+    (fun (rn : Global_router.routed_net) ->
+      List.iter
+        (fun e -> expect.(e) <- expect.(e) + 1)
+        rn.Global_router.route.Steiner.edges)
+    res.Global_router.routed;
+  Alcotest.(check (array int)) "density tally" expect res.Global_router.edge_density;
+  (* Node densities bound edge densities. *)
+  let nd = Global_router.node_density res in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      checkb "node >= edge density" true
+        (nd.(e.Graph.a) >= res.Global_router.edge_density.(e.Graph.id)
+        && nd.(e.Graph.b) >= res.Global_router.edge_density.(e.Graph.id)))
+    g.Graph.edges
+
+(* ---------------------------------------------------------- Congestion *)
+
+let test_congestion_report () =
+  let g = ring () in
+  let r01 = Steiner.routes g ~m:4 ~terminals:[ [ 0 ]; [ 2 ] ] in
+  let alternatives = [| Array.of_list r01; Array.of_list r01 |] in
+  let a =
+    Assign.run ~m:4 ~rng:(Twmc_sa.Rng.create ~seed:14) ~graph:g ~alternatives ()
+  in
+  let res =
+    { Global_router.graph = g;
+      routed =
+        Array.to_list
+          (Array.mapi
+             (fun i k ->
+               { Global_router.net = i;
+                 route = alternatives.(i).(k);
+                 alternatives = Array.length alternatives.(i) })
+             a.Assign.chosen);
+      unroutable = [];
+      total_length = a.Assign.total_length;
+      overflow = a.Assign.overflow;
+      edge_density = a.Assign.edge_density;
+      assign_attempts = a.Assign.attempts }
+  in
+  let rep = Congestion.of_result res in
+  check "edges" 4 rep.Congestion.n_edges;
+  check "all used" 4 rep.Congestion.used_edges;
+  check "no overflow" 0 rep.Congestion.total_overflow;
+  check "max density" 1 rep.Congestion.max_density;
+  (* Every used edge at exactly capacity -> all in the (75,100] bucket. *)
+  check "full bucket" 4 (List.assoc "(75,100]" rep.Congestion.histogram);
+  Alcotest.(check (float 1e-9)) "avg util" 1.0 rep.Congestion.avg_utilization
+
+let () =
+  Alcotest.run "route"
+    [ ( "mshortest",
+        [ Alcotest.test_case "line" `Quick test_shortest_line;
+          Alcotest.test_case "trivial/disconnected" `Quick
+            test_shortest_trivial_and_disconnected;
+          Alcotest.test_case "multi source/target" `Quick test_multi_source_target;
+          Alcotest.test_case "k shortest grid" `Quick test_k_shortest_grid;
+          Alcotest.test_case "k exhausts" `Quick test_k_shortest_exhausts ] );
+      ( "steiner",
+        [ Alcotest.test_case "two pin" `Quick test_steiner_two_pin;
+          Alcotest.test_case "multi pin" `Quick test_steiner_multi_pin;
+          Alcotest.test_case "equivalent pins" `Quick test_steiner_equivalent_pins;
+          Alcotest.test_case "prim_k orders" `Quick test_steiner_prim_k;
+          Alcotest.test_case "unreachable" `Quick test_steiner_unreachable ] );
+      ( "assign",
+        [ Alcotest.test_case "resolves conflict" `Quick test_assign_resolves_conflict;
+          Alcotest.test_case "keeps shortest" `Quick test_assign_keeps_shortest_when_free;
+          Alcotest.test_case "rejects empty" `Quick test_assign_rejects_empty ] );
+      ( "global router",
+        [ Alcotest.test_case "end to end" `Quick test_global_router_end_to_end ] );
+      ( "congestion",
+        [ Alcotest.test_case "report" `Quick test_congestion_report ] ) ]

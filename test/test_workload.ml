@@ -1,0 +1,115 @@
+(* Tests for the synthetic workload generator and the nine paper circuits. *)
+
+open Twmc_workload
+open Twmc_netlist
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_counts_exact () =
+  List.iter
+    (fun (cells, nets, pins) ->
+      let spec =
+        { Synth.default_spec with Synth.n_cells = cells; n_nets = nets; n_pins = pins }
+      in
+      let nl = Synth.generate ~seed:1 spec in
+      check "cells" cells (Netlist.n_cells nl);
+      check "nets" nets (Netlist.n_nets nl);
+      check "pins" pins (Netlist.total_pins nl))
+    [ (5, 10, 40); (25, 100, 360); (40, 150, 560) ]
+
+let test_net_degrees () =
+  let nl = Synth.generate ~seed:2 Synth.default_spec in
+  Array.iter
+    (fun (n : Net.t) -> checkb "degree >= 2" true (Net.n_pins n >= 2))
+    nl.Netlist.nets
+
+let test_determinism () =
+  let a = Synth.generate ~seed:7 Synth.default_spec in
+  let b = Synth.generate ~seed:7 Synth.default_spec in
+  Alcotest.(check string)
+    "identical output" (Writer.to_string a) (Writer.to_string b);
+  let c = Synth.generate ~seed:8 Synth.default_spec in
+  checkb "seeds differ" true (Writer.to_string a <> Writer.to_string c)
+
+let test_mixture () =
+  let spec =
+    { Synth.default_spec with
+      Synth.n_cells = 30;
+      n_nets = 80;
+      n_pins = 300;
+      frac_custom = 0.5 }
+  in
+  let nl = Synth.generate ~seed:3 spec in
+  let s = Stats.of_netlist nl in
+  checkb "some customs" true (s.Stats.n_custom > 0);
+  checkb "some macros" true (s.Stats.n_macro > 0);
+  (* Rectilinear macros appear with frac_rectilinear = 0.25. *)
+  checkb "some rectilinear macros" true
+    (Array.exists
+       (fun (c : Cell.t) ->
+         c.Cell.kind = Cell.Macro
+         && List.length (Cell.variant c 0).Cell.edges > 4)
+       nl.Netlist.cells)
+
+let test_equivalent_pins () =
+  (* Many pins on few cells forces repeated net-cell incidences, which the
+     generator converts to electrically-equivalent pins. *)
+  let spec =
+    { Synth.default_spec with
+      Synth.n_cells = 3;
+      n_nets = 10;
+      n_pins = 60;
+      frac_custom = 0.0 }
+  in
+  let nl = Synth.generate ~seed:4 spec in
+  checkb "equiv classes exist" true
+    (Array.exists
+       (fun (c : Cell.t) ->
+         Array.exists (fun (p : Pin.t) -> p.Pin.equiv <> None) c.Cell.pins)
+       nl.Netlist.cells)
+
+let test_invalid_specs () =
+  checkb "too few pins" true
+    (try
+       ignore
+         (Synth.generate
+            { Synth.default_spec with Synth.n_nets = 100; n_pins = 150 });
+       false
+     with Invalid_argument _ -> true);
+  checkb "one cell" true
+    (try
+       ignore (Synth.generate { Synth.default_spec with Synth.n_cells = 1 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_circuits_table () =
+  check "nine circuits" 9 (List.length Circuits.names);
+  List.iter
+    (fun name ->
+      let spec = Circuits.spec name in
+      let nl = Circuits.netlist ~seed:1 name in
+      check (name ^ " cells") spec.Synth.n_cells (Netlist.n_cells nl);
+      check (name ^ " nets") spec.Synth.n_nets (Netlist.n_nets nl);
+      check (name ^ " pins") spec.Synth.n_pins (Netlist.total_pins nl);
+      checkb (name ^ " trials") true (Circuits.trials name >= 2))
+    Circuits.names;
+  (* The published counts for a couple of circuits. *)
+  let l1 = Circuits.spec "l1" in
+  check "l1 cells" 62 l1.Synth.n_cells;
+  check "l1 pins" 4309 l1.Synth.n_pins;
+  let x1 = Circuits.spec "x1" in
+  check "x1 nets" 267 x1.Synth.n_nets;
+  check "paper table3 rows" 9 (List.length Circuits.paper_table3);
+  check "paper table4 rows" 9 (List.length Circuits.paper_table4)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "synth",
+        [ Alcotest.test_case "exact counts" `Quick test_counts_exact;
+          Alcotest.test_case "net degrees" `Quick test_net_degrees;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "cell mixture" `Quick test_mixture;
+          Alcotest.test_case "equivalent pins" `Quick test_equivalent_pins;
+          Alcotest.test_case "invalid specs" `Quick test_invalid_specs ] );
+      ("circuits", [ Alcotest.test_case "paper table" `Quick test_circuits_table ]) ]
