@@ -2,7 +2,33 @@
 
 open Cmdliner
 
-let read_netlist path = Twmc_netlist.Parser.parse_file path
+(* Exit codes: 0 clean, 3 degraded result, 4 invalid input, 5 budget
+   expired (1/2/124/125 belong to cmdliner). *)
+let exit_invalid = 4
+
+let exit_of_status = function
+  | Twmc.Flow.Clean -> 0
+  | Twmc.Flow.Degraded -> 3
+  | Twmc.Flow.Invalid_input -> exit_invalid
+  | Twmc.Flow.Timed_out -> 5
+
+let read_netlist path =
+  match Twmc_netlist.Parser.parse_file path with
+  | nl -> nl
+  | exception e -> (
+      match Twmc_netlist.Parser.error_to_string e with
+      | Some m ->
+          Printf.eprintf "%s\n" m;
+          exit exit_invalid
+      | None -> (
+          match e with
+          | Sys_error m ->
+              Printf.eprintf "%s\n" m;
+              exit exit_invalid
+          | Invalid_argument m | Failure m ->
+              Printf.eprintf "%s: %s\n" path m;
+              exit exit_invalid
+          | e -> raise e))
 
 (* ---------------------------------------------------------------- gen *)
 
@@ -55,6 +81,48 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print netlist statistics") Term.(const run $ file)
 
+(* -------------------------------------------------------------- check *)
+
+let strict_term =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat lint warnings (W2xx) as fatal.")
+  in
+  let _lenient =
+    Arg.(
+      value & flag
+      & info [ "lenient" ]
+          ~doc:"Only errors are fatal; warnings are reported but pass \
+                (default).")
+  in
+  Term.(const (fun s _ -> s) $ strict $ _lenient)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run strict file =
+    let r = Twmc.Robust.Check.file file in
+    List.iter
+      (fun d -> Format.eprintf "%a@." Twmc.Robust.Diagnostic.pp d)
+      r.Twmc.Robust.Check.diagnostics;
+    if Twmc.Robust.Check.ok ~strict r then begin
+      (match r.Twmc.Robust.Check.netlist with
+      | Some nl -> Format.printf "%s: OK (%a)@." file
+                     Twmc_netlist.Netlist.pp_summary nl
+      | None -> ());
+      exit 0
+    end
+    else exit exit_invalid
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a netlist: parse, lint the declarations, build, and lint \
+          the result.  Prints one diagnostic per line \
+          (file:line: severity[CODE] entity: message); exits 0 when usable, \
+          4 otherwise.")
+    Term.(const run $ strict_term $ file)
+
 (* ------------------------------------------------------- place / flow *)
 
 let params_term =
@@ -96,26 +164,62 @@ let place_cmd =
     Term.(const run $ params_term $ file)
 
 let flow_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run (params, seed) file =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget for the whole flow; on expiry the best \
+             configuration reached so far is returned and the exit code is \
+             5.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Stage-1 retries with perturbed seeds after a failure.")
+  in
+  let run (params, seed) strict time_budget_s max_retries file =
     let nl = read_netlist file in
-    let r = Twmc.Flow.run ~params ~seed nl in
-    Format.printf "%a@." Twmc.Flow.pp_result r;
-    List.iteri
-      (fun i (it : Twmc.Stage2.iteration) ->
-        Format.printf
-          "refinement %d: %d regions, routed %d/%d nets, L=%d, X=%d, \
-           TEIL=%.0f, area=%d@."
-          (i + 1) it.Twmc.Stage2.regions it.Twmc.Stage2.routed_nets
-          (it.Twmc.Stage2.routed_nets + it.Twmc.Stage2.unroutable_nets)
-          it.Twmc.Stage2.route_length it.Twmc.Stage2.route_overflow
-          it.Twmc.Stage2.teil_after
-          (Twmc_geometry.Rect.area it.Twmc.Stage2.chip_after))
-      r.Twmc.Flow.stage2.Twmc.Stage2.iterations
+    let rr =
+      Twmc.Flow.run_resilient ~params ~seed ~strict ?time_budget_s
+        ~max_retries nl
+    in
+    List.iter
+      (fun d -> Format.eprintf "%a@." Twmc.Robust.Diagnostic.pp d)
+      rr.Twmc.Flow.diagnostics;
+    (match rr.Twmc.Flow.flow with
+    | None ->
+        Format.printf "no result (%s)@."
+          (Twmc.Flow.status_to_string rr.Twmc.Flow.status)
+    | Some r ->
+        Format.printf "%a@." Twmc.Flow.pp_result r;
+        List.iteri
+          (fun i (it : Twmc.Stage2.iteration) ->
+            Format.printf
+              "refinement %d: %d regions, routed %d/%d nets, L=%d, X=%d, \
+               TEIL=%.0f, area=%d@."
+              (i + 1) it.Twmc.Stage2.regions it.Twmc.Stage2.routed_nets
+              (it.Twmc.Stage2.routed_nets + it.Twmc.Stage2.unroutable_nets)
+              it.Twmc.Stage2.route_length it.Twmc.Stage2.route_overflow
+              it.Twmc.Stage2.teil_after
+              (Twmc_geometry.Rect.area it.Twmc.Stage2.chip_after))
+          r.Twmc.Flow.stage2.Twmc.Stage2.iterations;
+        if rr.Twmc.Flow.status <> Twmc.Flow.Clean then
+          Format.printf "status: %s@."
+            (Twmc.Flow.status_to_string rr.Twmc.Flow.status));
+    exit (exit_of_status rr.Twmc.Flow.status)
   in
   Cmd.v
-    (Cmd.info "flow" ~doc:"Run the complete two-stage TimberWolfMC flow")
-    Term.(const run $ params_term $ file)
+    (Cmd.info "flow"
+       ~doc:
+         "Run the complete two-stage TimberWolfMC flow under the guarded \
+          driver (lint, invariant checks, checkpoint/rollback).  Exit \
+          codes: 0 clean, 3 degraded, 4 invalid input, 5 budget expired.")
+    Term.(const run $ params_term $ strict_term $ time_budget $ max_retries
+          $ file)
 
 (* -------------------------------------------------------------- route *)
 
@@ -258,5 +362,5 @@ let () =
   in
   exit
     (Cmd.eval (Cmd.group info
-       [ gen_cmd; stats_cmd; place_cmd; flow_cmd; route_cmd; draw_cmd;
-         experiment_cmd ]))
+       [ gen_cmd; check_cmd; stats_cmd; place_cmd; flow_cmd; route_cmd;
+         draw_cmd; experiment_cmd ]))

@@ -2,6 +2,10 @@ open Twmc_geometry
 module Params = Twmc_place.Params
 module Stage1 = Twmc_place.Stage1
 module Placement = Twmc_place.Placement
+module Diagnostic = Twmc_robust.Diagnostic
+module Lint = Twmc_robust.Lint
+module Invariant = Twmc_robust.Invariant
+module Guard = Twmc_robust.Guard
 
 type result = {
   netlist : Twmc_netlist.Netlist.t;
@@ -15,23 +19,110 @@ type result = {
   elapsed_s : float;
 }
 
+let assemble ~t0 nl (s1 : Stage1.result) (s2 : Stage2.result) =
+  { netlist = nl;
+    stage1 = s1;
+    stage2 = s2;
+    teil_stage1 = s1.Stage1.teil;
+    area_stage1 = Rect.area s1.Stage1.chip;
+    teil_final = s2.Stage2.teil;
+    area_final = Rect.area s2.Stage2.chip;
+    chip = s2.Stage2.chip;
+    elapsed_s = Sys.time () -. t0 }
+
 let run ?(params = Params.default) ?seed nl =
   let seed = match seed with Some s -> s | None -> params.Params.seed in
   let rng = Twmc_sa.Rng.create ~seed in
   let t0 = Sys.time () in
   let s1 = Stage1.run ~params ~rng nl in
-  let teil_stage1 = s1.Stage1.teil in
-  let area_stage1 = Rect.area s1.Stage1.chip in
   let s2 = Stage2.run ~rng s1 in
-  { netlist = nl;
-    stage1 = s1;
-    stage2 = s2;
-    teil_stage1;
-    area_stage1;
-    teil_final = s2.Stage2.teil;
-    area_final = Rect.area s2.Stage2.chip;
-    chip = s2.Stage2.chip;
-    elapsed_s = Sys.time () -. t0 }
+  assemble ~t0 nl s1 s2
+
+type status = Clean | Degraded | Invalid_input | Timed_out
+
+let status_to_string = function
+  | Clean -> "clean"
+  | Degraded -> "degraded"
+  | Invalid_input -> "invalid input"
+  | Timed_out -> "timed out"
+
+type resilient_result = {
+  flow : result option;
+  status : status;
+  diagnostics : Diagnostic.t list;
+  retries_used : int;
+}
+
+let run_resilient ?(params = Params.default) ?seed ?(strict = false)
+    ?time_budget_s ?(max_retries = 2) nl =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let addl l = List.iter add l in
+  let retries = ref 0 in
+  let finish flow status =
+    { flow; status; diagnostics = List.rev !diags; retries_used = !retries }
+  in
+  let lint = Lint.netlist nl in
+  addl lint;
+  if Diagnostic.fatal ~strict lint <> [] then finish None Invalid_input
+  else begin
+    let guard = Guard.create ?time_budget_s () in
+    let should_stop = Guard.should_stop guard in
+    let base_seed = match seed with Some s -> s | None -> params.Params.seed in
+    let t0 = Sys.time () in
+    (* Stage 1 with retry-on-failure: a throwing or invariant-violating
+       anneal is retried from a perturbed seed — SA failures are usually
+       trajectory-specific, so a different random walk sidesteps them. *)
+    let rec stage1_attempt attempt =
+      let seed = base_seed + (attempt * 7919) in
+      let rng = Twmc_sa.Rng.create ~seed in
+      let outcome =
+        Guard.stage guard ~name:"stage1"
+          (fun () ->
+            let s1 = Stage1.run ~params ~rng ~should_stop nl in
+            let inv = Invariant.placement s1.Stage1.placement in
+            addl inv;
+            if Diagnostic.has_errors inv then
+              failwith "stage-1 placement invariants violated";
+            s1)
+      in
+      match outcome with
+      | Guard.Ok s1 -> Some (rng, s1)
+      | Guard.Failed d ->
+          add d;
+          if attempt < max_retries && not (Guard.expired guard) then begin
+            incr retries;
+            add
+              (Diagnostic.make ~severity:Diagnostic.Info ~entity:"stage1"
+                 ~code:"G403"
+                 (Printf.sprintf "retrying with perturbed seed %d"
+                    (base_seed + ((attempt + 1) * 7919))));
+            stage1_attempt (attempt + 1)
+          end
+          else None
+    in
+    match stage1_attempt 0 with
+    | None -> finish None Degraded
+    | Some (rng, s1) ->
+        let s2 = Stage2.run ~rng ~should_stop ~resilient:true s1 in
+        addl s2.Stage2.diagnostics;
+        let r = assemble ~t0 nl s1 s2 in
+        let timed_out =
+          Guard.expired guard || s1.Stage1.interrupted
+          || s2.Stage2.interrupted
+        in
+        let degraded =
+          s2.Stage2.final_route = None
+          || s2.Stage2.rollbacks > 0
+          || Diagnostic.fatal ~strict (List.rev !diags) <> []
+        in
+        let status =
+          if timed_out then Timed_out
+          else if degraded then Degraded
+          else Clean
+        in
+        finish (Some r) status
+  end
 
 let pp_result ppf r =
   Format.fprintf ppf

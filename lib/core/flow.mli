@@ -24,4 +24,44 @@ val run :
 (** [seed] (default the params' seed) drives every stochastic choice; runs
     are reproducible. *)
 
+type status =
+  | Clean  (** Completed with nothing fatal (exit code 0). *)
+  | Degraded
+      (** Completed but with rollbacks, an unroutable final route, or
+          fatal-severity diagnostics — the result is usable best-effort
+          (exit code 3). *)
+  | Invalid_input  (** Netlist lint failed; no flow was run (exit code 4). *)
+  | Timed_out
+      (** The wall-clock budget fired; the result (when present) is the
+          best configuration reached in time (exit code 5). *)
+
+val status_to_string : status -> string
+
+type resilient_result = {
+  flow : result option;
+      (** [None] only for invalid input or when stage 1 failed on every
+          retry. *)
+  status : status;
+  diagnostics : Twmc_robust.Diagnostic.t list;
+      (** Everything observed, in order: lint, inter-stage invariants,
+          guard events. *)
+  retries_used : int;
+}
+
+val run_resilient :
+  ?params:Twmc_place.Params.t ->
+  ?seed:int ->
+  ?strict:bool ->
+  ?time_budget_s:float ->
+  ?max_retries:int ->
+  Twmc_netlist.Netlist.t ->
+  resilient_result
+(** Guarded end-to-end flow: never raises (resource-exhaustion exceptions
+    excepted).  The netlist is linted first ([strict], default false, also
+    promotes warnings to fatal); stage 1 is retried with perturbed seeds up
+    to [max_retries] (default 2) times on failure; stage 2 runs with
+    checkpoint/rollback; [time_budget_s] converts both anneals into
+    cooperatively-interruptible loops that return the best-so-far
+    configuration once the wall clock expires. *)
+
 val pp_result : Format.formatter -> result -> unit

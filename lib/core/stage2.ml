@@ -11,6 +11,10 @@ module Graph = Twmc_channel.Graph
 module Pin_map = Twmc_channel.Pin_map
 module Region = Twmc_channel.Region
 module Router = Twmc_route.Global_router
+module Diagnostic = Twmc_robust.Diagnostic
+module Checkpoint = Twmc_robust.Checkpoint
+module Invariant = Twmc_robust.Invariant
+module Guard = Twmc_robust.Guard
 
 type iteration = {
   regions : int;
@@ -31,6 +35,9 @@ type result = {
   final_route : Router.result option;
   teil : float;
   chip : Rect.t;
+  interrupted : bool;
+  rollbacks : int;
+  diagnostics : Diagnostic.t list;
 }
 
 let required_expansions p (route : Router.result) =
@@ -65,7 +72,7 @@ let required_expansions p (route : Router.result) =
     route.Router.graph.Graph.regions;
   exps
 
-let channel_and_route ~rng p =
+let channel_and_route ?should_stop ~rng p =
   let nl = Placement.netlist p in
   let prm = Placement.params p in
   let regions = Extract.of_placement p in
@@ -73,7 +80,7 @@ let channel_and_route ~rng p =
   let tasks = Pin_map.tasks graph p in
   let route =
     Router.route ~m:prm.Params.m_routes
-      ~budget_factor:prm.Params.route_effort ~rng ~graph ~tasks ()
+      ~budget_factor:prm.Params.route_effort ?should_stop ~rng ~graph ~tasks ()
   in
   route
 
@@ -88,7 +95,7 @@ let avg_effective_cell_area p =
   done;
   float_of_int !total /. float_of_int (max 1 n)
 
-let anneal ~rng ~final p =
+let anneal ?(should_stop = fun () -> false) ~rng ~final p =
   let prm = Placement.params p in
   let nl = Placement.netlist p in
   let s_t = Schedule.s_t ~avg_cell_area:(avg_effective_cell_area p) in
@@ -107,10 +114,17 @@ let anneal ~rng ~final p =
   let a = prm.Params.a_c * Netlist.n_cells nl in
   let t_floor = 1e-6 *. t_inf in
   let frozen = ref 0 and last_cost = ref nan in
+  let stopped = ref false in
+  let inner temp =
+    let i = ref 0 in
+    while !i < a && not !stopped do
+      Moves.generate ctx rng ~temp;
+      incr i;
+      if !i land 127 = 0 && should_stop () then stopped := true
+    done
+  in
   let rec loop temp =
-    for _ = 1 to a do
-      Moves.generate ctx rng ~temp
-    done;
+    inner temp;
     Placement.recompute_all p;
     let c = Placement.total_cost p in
     if c = !last_cost then incr frozen else frozen := 0;
@@ -119,7 +133,8 @@ let anneal ~rng ~final p =
       if final then !frozen >= 3
       else Range_limiter.at_min_span limiter ~temp
     in
-    if stop then quench temp 0
+    if !stopped then ()
+    else if stop then quench temp 0
     else begin
       let temp' = Schedule.next schedule temp in
       if temp' >= t_floor then loop temp' else quench temp' 0
@@ -130,9 +145,10 @@ let anneal ~rng ~final p =
     ignore
       (Twmc_place.Quench.run ~rng ~placement:p ~stats ~limiter
          ~moves_per_loop:a ~t_start:temp ~allow_orient:false
-         ~allow_variant:false ~interchanges:false ())
+         ~allow_variant:false ~interchanges:false ~should_stop ())
   in
-  loop t_start
+  loop t_start;
+  !stopped
 
 (* Resize the core so the statically-expanded cells fit at the configured
    fill fraction — the paper's refinement "provides additional space as
@@ -156,12 +172,12 @@ let resize_core p =
   in
   Placement.set_core p core
 
-let refine_once ~rng ?(final = false) p =
-  let route = channel_and_route ~rng p in
+let refine_once ~rng ?(final = false) ?should_stop p =
+  let route = channel_and_route ?should_stop ~rng p in
   let exps = required_expansions p route in
   Placement.set_expander p (Placement.Static exps);
   resize_core p;
-  anneal ~rng ~final p;
+  let _interrupted = anneal ?should_stop ~rng ~final p in
   let it =
     { regions = Graph.n_nodes route.Router.graph;
       graph_edges = Graph.n_edges route.Router.graph;
@@ -176,19 +192,85 @@ let refine_once ~rng ?(final = false) p =
   in
   (it, route)
 
-let run ~rng (s1 : Stage1.result) =
+let run ~rng ?(should_stop = fun () -> false) ?(resilient = false)
+    (s1 : Stage1.result) =
   let p = s1.Stage1.placement in
   let prm = Placement.params p in
   let n = max 1 prm.Params.refinement_iterations in
   let iterations = ref [] in
+  let diags = ref [] and rollbacks = ref 0 in
+  let add d = diags := d :: !diags in
   for i = 1 to n do
-    let it, _route = refine_once ~rng ~final:(i = n) p in
-    iterations := it :: !iterations
+    let name = Printf.sprintf "stage2 refinement %d" i in
+    if should_stop () then begin
+      if not (List.exists (fun d -> d.Diagnostic.code = "G401") !diags) then
+        add (Guard.timeout_diag ~name)
+    end
+    else if not resilient then begin
+      let it, _route = refine_once ~rng ~final:(i = n) ~should_stop p in
+      iterations := it :: !iterations
+    end
+    else begin
+      (* Guarded iteration: snapshot first, then roll back if the
+         refinement throws, corrupts the cost state, or grossly regresses
+         the interconnect estimate. *)
+      let before = Checkpoint.capture p in
+      match refine_once ~rng ~final:(i = n) ~should_stop p with
+      | it, _route ->
+          let inv = Invariant.placement p in
+          List.iter add inv;
+          let teil_after = Placement.teil p in
+          let regressed = teil_after > (2.0 *. Checkpoint.teil before) +. 1.0 in
+          if Diagnostic.has_errors inv || regressed then begin
+            Checkpoint.restore p before;
+            incr rollbacks;
+            add
+              (Diagnostic.make ~severity:Diagnostic.Warning ~entity:name
+                 ~code:"G402"
+                 (if regressed then
+                    Printf.sprintf
+                      "rolled back: TEIL regressed %.0f -> %.0f"
+                      (Checkpoint.teil before) teil_after
+                  else "rolled back: placement invariants violated"))
+          end
+          else iterations := it :: !iterations
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+          raise e
+      | exception e ->
+          Checkpoint.restore p before;
+          incr rollbacks;
+          add
+            (Diagnostic.make ~severity:Diagnostic.Error ~entity:name
+               ~code:"G400"
+               (Printf.sprintf "rolled back: refinement raised %s"
+                  (Printexc.to_string e)))
+    end
   done;
   (* A final routing pass reflecting the refined placement. *)
-  let final_route = channel_and_route ~rng p in
+  let final_route =
+    if not resilient then Some (channel_and_route ~rng p)
+    else if should_stop () then None
+    else
+      match channel_and_route ~should_stop ~rng p with
+      | r ->
+          List.iter add (Invariant.channel_graph r.Router.graph);
+          List.iter add (Invariant.route r);
+          Some r
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+          raise e
+      | exception e ->
+          add
+            (Diagnostic.make ~severity:Diagnostic.Error ~entity:"final route"
+               ~code:"G400"
+               (Printf.sprintf "global routing failed: %s"
+                  (Printexc.to_string e)));
+          None
+  in
   { placement = p;
     iterations = List.rev !iterations;
-    final_route = Some final_route;
+    final_route;
     teil = Placement.teil p;
-    chip = Placement.chip_bbox p }
+    chip = Placement.chip_bbox p;
+    interrupted = should_stop ();
+    rollbacks = !rollbacks;
+    diagnostics = List.rev !diags }

@@ -34,11 +34,17 @@ type iteration = {
 type result = {
   placement : Twmc_place.Placement.t;
   iterations : iteration list;
+      (** Successful refinements only; rolled-back ones are absent. *)
   final_route : Twmc_route.Global_router.result option;
-      (** The last iteration's routing (the one reflecting the final
-          placement is re-run after the last refinement). *)
+      (** The routing re-run after the last refinement so it reflects the
+          final placement; [None] when it failed or the budget expired
+          first (resilient mode only — the default mode always routes). *)
   teil : float;
   chip : Twmc_geometry.Rect.t;
+  interrupted : bool;  (** A [should_stop] budget fired during the stage. *)
+  rollbacks : int;  (** Refinements undone in resilient mode. *)
+  diagnostics : Twmc_robust.Diagnostic.t list;
+      (** Invariant findings (I3xx) and guard events (G4xx), in order. *)
 }
 
 val required_expansions :
@@ -52,14 +58,27 @@ val required_expansions :
 val refine_once :
   rng:Twmc_sa.Rng.t ->
   ?final:bool ->
+  ?should_stop:(unit -> bool) ->
   Twmc_place.Placement.t ->
   iteration * Twmc_route.Global_router.result
 (** One channel-define / route / refine execution, mutating the placement.
-    [final] selects the frozen-cost stopping criterion. *)
+    [final] selects the frozen-cost stopping criterion.  [should_stop] is
+    polled every 128 annealing moves and between routed nets; when it fires
+    the refinement returns early with caches repaired. *)
 
 val run :
   rng:Twmc_sa.Rng.t ->
+  ?should_stop:(unit -> bool) ->
+  ?resilient:bool ->
   Twmc_place.Stage1.result ->
   result
 (** The full stage 2: [refinement_iterations] executions (from the
-    placement's params) followed by a final routing pass. *)
+    placement's params) followed by a final routing pass.
+
+    With [resilient] (default false — the defaults reproduce the historic
+    behavior exactly), each refinement runs against a
+    {!Twmc_robust.Checkpoint}: if it raises, violates placement invariants,
+    or more than doubles the TEIL, the placement is rolled back to the
+    checkpoint and the event recorded as a [G4xx]/[I3xx] diagnostic instead
+    of propagating.  A failing or budget-cut final route degrades to
+    [final_route = None] rather than raising. *)

@@ -11,6 +11,8 @@
     - {!Place} — stage-1 placement (Sec 3)
     - {!Channel} — channel definition (Sec 4.1)
     - {!Route} — global routing (Sec 4.2)
+    - {!Robust} — diagnostics, lint, invariants, guards, checkpoints
+    - {!Util} — atomic file output
     - {!Stage2} — placement refinement (Sec 4.3)
     - {!Flow} — the complete two-stage flow *)
 
@@ -21,5 +23,7 @@ module Estimator = Twmc_estimator
 module Place = Twmc_place
 module Channel = Twmc_channel
 module Route = Twmc_route
+module Robust = Twmc_robust
+module Util = Twmc_util
 module Stage2 = Stage2
 module Flow = Flow

@@ -44,10 +44,7 @@ let rec mkdir_p dir =
 
 let write_csv ~path ~header ~rows =
   mkdir_p (Filename.dirname path);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (csv_string ~header ~rows))
+  Twmc_util.Atomic_io.write_string path (csv_string ~header ~rows)
 
 let pct f = Printf.sprintf "%.1f" f
 let f0 f = Printf.sprintf "%.0f" f

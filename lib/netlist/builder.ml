@@ -77,6 +77,81 @@ let add_custom_instances t ~name ~shapes ?sites_per_edge ~pins () =
 
 let set_net_weight t ~net ~h ~v = Hashtbl.replace t.weights net (h, v)
 
+let spec_name = function
+  | Macro_spec { name; _ } | Custom_spec { name; _ } | Instances_spec { name; _ }
+    ->
+      name
+
+let spec_pins = function
+  | Macro_spec { pins; _ } | Custom_spec { pins; _ } | Instances_spec { pins; _ }
+    ->
+      pins
+
+(* Declaration-level lint: everything detectable before cell construction,
+   so malformed inputs yield diagnostics instead of [Invalid_argument] from
+   {!Cell} / {!Netlist.make}.  Codes starting with E are errors, W warnings;
+   the robust layer maps them onto its [Diagnostic.t]. *)
+let lint_specs t =
+  let diags = ref [] in
+  let add code entity fmt =
+    Format.kasprintf (fun m -> diags := (code, entity, m) :: !diags) fmt
+  in
+  if t.track_spacing <= 0 then
+    add "E100" t.name "track_spacing must be positive (got %d)" t.track_spacing;
+  let specs = List.rev t.cells in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let n = spec_name s in
+      if Hashtbl.mem seen n then add "E101" n "duplicate cell name %s" n
+      else Hashtbl.add seen n ())
+    specs;
+  let degree = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace degree p.net_name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt degree p.net_name)))
+        (spec_pins s))
+    specs;
+  Hashtbl.iter
+    (fun net d ->
+      if d < 2 then
+        add "E102" net "net %s has %d pin(s); every net needs at least 2" net d)
+    degree;
+  List.iter
+    (fun s ->
+      let name = spec_name s in
+      let pins = spec_pins s in
+      if pins = [] then add "W201" name "cell %s has no pins" name;
+      let pseen = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem pseen p.pin_name then
+            add "W202" name "cell %s: duplicate pin name %s" name p.pin_name
+          else Hashtbl.add pseen p.pin_name ();
+          if p.seq <> None && p.group = None then
+            add "E105" name "cell %s: pin %s has seq without group" name
+              p.pin_name)
+        pins;
+      match s with
+      | Custom_spec { area; aspect_lo; aspect_hi; _ } ->
+          if area <= 0 then
+            add "E103" name "cell %s: custom area must be positive (got %d)"
+              name area;
+          if aspect_lo <= 0.0 || aspect_hi < aspect_lo then
+            add "E104" name "cell %s: invalid aspect range [%g, %g]" name
+              aspect_lo aspect_hi
+      | Macro_spec _ | Instances_spec _ -> ())
+    specs;
+  Hashtbl.iter
+    (fun net _ ->
+      if not (Hashtbl.mem t.net_ids net) then
+        add "E106" net "weight set for undeclared net %s" net)
+    t.weights;
+  List.rev !diags
+
 let to_pin t (spec : pin_spec) =
   let net = net_id t spec.net_name in
   match spec.where with

@@ -64,3 +64,13 @@ val build : t -> Netlist.t
 (** Resolves names and validates; raises [Invalid_argument] on dangling
     weights (a weight for a net no pin mentions) or any [Netlist.make]
     violation. *)
+
+val lint_specs : t -> (string * string * string) list
+(** Declaration-level lint, runnable {e before} {!build}: returns
+    [(code, entity, message)] triples for every problem detectable from the
+    accumulated specs — duplicate cell names (E101), nets with fewer than
+    two pins (E102), nonpositive custom areas (E103), invalid aspect ranges
+    (E104), [seq] without [group] (E105), weights on undeclared nets (E106),
+    nonpositive track spacing (E100), pinless cells (W201), duplicate pin
+    names (W202).  Codes starting with [E] are errors that would make
+    {!build} raise; [W] codes are advisory.  Never raises. *)

@@ -59,15 +59,37 @@ let n_nets t = Array.length t.nets
 let total_pins t =
   Array.fold_left (fun acc c -> acc + Cell.n_pins c) 0 t.cells
 
+let index_where ~len ~name_at name =
+  let rec go i =
+    if i >= len then None else if name_at i = name then Some i else go (i + 1)
+  in
+  go 0
+
+let cell_index_opt t name =
+  index_where ~len:(Array.length t.cells)
+    ~name_at:(fun i -> t.cells.(i).Cell.name)
+    name
+
+let net_index_opt t name =
+  index_where ~len:(Array.length t.nets)
+    ~name_at:(fun i -> t.nets.(i).Net.name)
+    name
+
 let cell_index t name =
-  let found = ref (-1) in
-  Array.iteri (fun i (c : Cell.t) -> if c.Cell.name = name then found := i) t.cells;
-  if !found < 0 then raise Not_found else !found
+  match cell_index_opt t name with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Netlist.cell_index: no cell named %s in netlist %s"
+           name t.name)
 
 let net_index t name =
-  let found = ref (-1) in
-  Array.iteri (fun i (n : Net.t) -> if n.Net.name = name then found := i) t.nets;
-  if !found < 0 then raise Not_found else !found
+  match net_index_opt t name with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Netlist.net_index: no net named %s in netlist %s" name
+           t.name)
 
 let total_cell_area t =
   Array.fold_left (fun acc c -> acc + Cell.base_area c) 0 t.cells

@@ -25,8 +25,14 @@ val n_nets : t -> int
 val total_pins : t -> int
 (** Total pin count over all cells (the paper's "No. Pins" column). *)
 
+val cell_index_opt : t -> string -> int option
+(** Index of a cell by name, [None] when absent. *)
+
+val net_index_opt : t -> string -> int option
+
 val cell_index : t -> string -> int
-(** Index of a cell by name; raises [Not_found]. *)
+(** Like {!cell_index_opt} but raises [Invalid_argument] naming both the
+    missing cell and the netlist. *)
 
 val net_index : t -> string -> int
 

@@ -1,11 +1,23 @@
 open Twmc_geometry
 
-exception Parse_error of int * string
+exception Parse_error of { file : string; line : int; msg : string }
 
-let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+let error_to_string = function
+  | Parse_error { file; line; msg } ->
+      Some (Printf.sprintf "%s:%d: %s" file line msg)
+  | _ -> None
+
+(* Internal, file-less error; [with_file] stamps the path on at the
+   public entry points so the helpers need not thread it. *)
+exception Err of int * string
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Err (line, m))) fmt
+
+let with_file ~file f =
+  try f () with Err (line, msg) -> raise (Parse_error { file; line; msg })
 
 let tokenize line =
-  (* Strip comments, split on blanks. *)
+  (* Strip comments, split on blanks ('\r' handles CRLF input). *)
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -13,7 +25,12 @@ let tokenize line =
   in
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun s -> s <> "")
+
+(* Geometry constructors validate eagerly; report their complaints (zero-area
+   tiles, inverted rectangles, overlapping tiles) at the offending line. *)
+let geom ln f = try f () with Invalid_argument m -> fail ln "%s" m
 
 let int_of ln s =
   match int_of_string_opt s with
@@ -58,18 +75,19 @@ let parse_pin ln toks =
   | _ -> fail ln "malformed pin line"
 
 let parse_shape ln toks =
-  match toks with
-  | [ "rect"; w; h ] -> Shape.rectangle ~w:(int_of ln w) ~h:(int_of ln h)
-  | [ "l"; w; h; nw; nh ] ->
-      Shape.l_shape ~w:(int_of ln w) ~h:(int_of ln h) ~notch_w:(int_of ln nw)
-        ~notch_h:(int_of ln nh)
-  | [ "t"; w; h; sw; sh ] ->
-      Shape.t_shape ~w:(int_of ln w) ~h:(int_of ln h) ~stem_w:(int_of ln sw)
-        ~stem_h:(int_of ln sh)
-  | [ "u"; w; h; nw; nh ] ->
-      Shape.u_shape ~w:(int_of ln w) ~h:(int_of ln h) ~notch_w:(int_of ln nw)
-        ~notch_h:(int_of ln nh)
-  | _ -> fail ln "malformed shape line"
+  geom ln (fun () ->
+      match toks with
+      | [ "rect"; w; h ] -> Shape.rectangle ~w:(int_of ln w) ~h:(int_of ln h)
+      | [ "l"; w; h; nw; nh ] ->
+          Shape.l_shape ~w:(int_of ln w) ~h:(int_of ln h)
+            ~notch_w:(int_of ln nw) ~notch_h:(int_of ln nh)
+      | [ "t"; w; h; sw; sh ] ->
+          Shape.t_shape ~w:(int_of ln w) ~h:(int_of ln h)
+            ~stem_w:(int_of ln sw) ~stem_h:(int_of ln sh)
+      | [ "u"; w; h; nw; nh ] ->
+          Shape.u_shape ~w:(int_of ln w) ~h:(int_of ln h)
+            ~notch_w:(int_of ln nw) ~notch_h:(int_of ln nh)
+      | _ -> fail ln "malformed shape line")
 
 type cell_header =
   | H_macro of string
@@ -140,7 +158,7 @@ let parse_lines lines =
         | H_macro name ->
             if tiles = [] then fail ln "macro cell %s has no tiles" name;
             Builder.add_macro b ~name
-              ~shape:(Shape.of_tiles (List.rev tiles))
+              ~shape:(geom ln (fun () -> Shape.of_tiles (List.rev tiles)))
               ~pins
         | H_custom { name; area; aspect_lo; aspect_hi; variants; sites } ->
             if tiles <> [] || shapes <> [] then
@@ -170,14 +188,15 @@ let parse_lines lines =
               | Some [] -> fail ln "empty instance block"
               | Some ts ->
                   inst := None;
-                  in_cell :=
-                    Some (h, tiles, Shape.of_tiles (List.rev ts) :: shapes, pins))
+                  let s = geom ln (fun () -> Shape.of_tiles (List.rev ts)) in
+                  in_cell := Some (h, tiles, s :: shapes, pins))
           | Some (h, tiles, shapes, pins), "tile" :: rest ->
               (match rest with
               | [ x0; y0; x1; y1 ] ->
                   let r =
-                    Rect.make ~x0:(int_of ln x0) ~y0:(int_of ln y0)
-                      ~x1:(int_of ln x1) ~y1:(int_of ln y1)
+                    geom ln (fun () ->
+                        Rect.make ~x0:(int_of ln x0) ~y0:(int_of ln y0)
+                          ~x1:(int_of ln x1) ~y1:(int_of ln y1))
                   in
                   (match !inst with
                   | Some ts -> inst := Some (r :: ts)
@@ -205,15 +224,21 @@ let parse_lines lines =
   | Some _ -> fail (List.length lines) "unterminated cell at end of input"
   | None -> ());
   match !builder with
-  | Some b -> Builder.build b
+  | Some b -> b
   | None -> fail 0 "no cells in input"
 
-let parse_string s = parse_lines (String.split_on_char '\n' s)
+let builder_of_string ?(file = "<string>") s =
+  with_file ~file (fun () -> parse_lines (String.split_on_char '\n' s))
 
-let parse_file path =
-  let ic = open_in path in
+let parse_string ?file s = Builder.build (builder_of_string ?file s)
+
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let n = in_channel_length ic in
-      parse_string (really_input_string ic n))
+      really_input_string ic n)
+
+let builder_of_file path = builder_of_string ~file:path (read_file path)
+let parse_file path = parse_string ~file:path (read_file path)

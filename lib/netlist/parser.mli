@@ -38,8 +38,26 @@
     ([rect w h] | [l w h nw nh] | [t w h sw sh] | [u w h nw nh]) or an
     [instance] … [endinstance] block of raw tiles (what {!Writer} emits). *)
 
-exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+exception Parse_error of { file : string; line : int; msg : string }
+(** Source path (["<string>"] when parsing from memory), 1-based line
+    number, and message.  CRLF line endings are accepted everywhere. *)
 
-val parse_string : string -> Netlist.t
+val error_to_string : exn -> string option
+(** [Some "file:line: message"] for a {!Parse_error}, [None] otherwise. *)
+
+val parse_string : ?file:string -> string -> Netlist.t
+(** [file] (default ["<string>"]) is only used to label errors. *)
+
 val parse_file : string -> Netlist.t
+
+val builder_of_string : ?file:string -> string -> Builder.t
+(** Parse without building: the populated builder lets a checker lint the
+    declarations (duplicate names, dangling nets, degenerate cells) without
+    tripping the constructor validation that {!Netlist.make} applies.
+    Raises {!Parse_error} on syntax errors only. *)
+
+val builder_of_file : string -> Builder.t
+
+val read_file : string -> string
+(** Raw binary read (CRLF handling happens in the tokenizer).  Raises
+    [Sys_error] like the underlying [open_in]. *)

@@ -66,8 +66,4 @@ let to_string (nl : Netlist.t) =
     nl.Netlist.cells;
   Buffer.contents buf
 
-let to_file path nl =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string nl))
+let to_file path nl = Twmc_util.Atomic_io.write_string path (to_string nl)

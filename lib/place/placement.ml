@@ -300,6 +300,8 @@ let create ~params ~core ~expander ~rng (nl : Netlist.t) =
   recompute_all t;
   t
 
+let expander t = t.expander
+
 let set_expander t e =
   t.expander <- e;
   recompute_all t
@@ -477,20 +479,23 @@ let restore_cell t s =
 (* ------------------------------------------------------------------ *)
 (* Verification                                                        *)
 
-let verify_consistency t =
+let drift_report t =
   let c1 = t.c1v and c2 = t.c2v and c3 = t.c3v and teil = t.teilv in
   recompute_all t;
   let close a b =
     Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
   in
-  if not (close c1 t.c1v) then
-    failwith (Printf.sprintf "C1 drift: cached %g vs true %g" c1 t.c1v);
-  if not (close c2 t.c2v) then
-    failwith (Printf.sprintf "C2 drift: cached %g vs true %g" c2 t.c2v);
-  if not (close c3 t.c3v) then
-    failwith (Printf.sprintf "C3 drift: cached %g vs true %g" c3 t.c3v);
-  if not (close teil t.teilv) then
-    failwith (Printf.sprintf "TEIL drift: cached %g vs true %g" teil t.teilv)
+  List.filter_map
+    (fun (term, cached, truth) ->
+      if close cached truth then None else Some (term, cached, truth))
+    [ ("C1", c1, t.c1v); ("C2", c2, t.c2v); ("C3", c3, t.c3v);
+      ("TEIL", teil, t.teilv) ]
+
+let verify_consistency t =
+  match drift_report t with
+  | [] -> ()
+  | (term, cached, truth) :: _ ->
+      failwith (Printf.sprintf "%s drift: cached %g vs true %g" term cached truth)
 
 let pp_summary ppf t =
   Format.fprintf ppf "C1=%.0f C2=%.0f (p2=%.3g) C3=%.0f TEIL=%.0f cost=%.0f"

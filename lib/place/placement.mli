@@ -40,6 +40,7 @@ val create :
 val netlist : t -> Twmc_netlist.Netlist.t
 val params : t -> Params.t
 val core : t -> Twmc_geometry.Rect.t
+val expander : t -> expander
 val set_expander : t -> expander -> unit
 (** Swap the expansion model (entering stage 2) and recompute all caches. *)
 
@@ -105,9 +106,15 @@ val recompute_all : t -> unit
 (** Full rebuild of caches and cost accumulators; also the drift-correction
     oracle (called once per temperature step). *)
 
+val drift_report : t -> (string * float * float) list
+(** Compare the incremental accumulators against a full recomputation:
+    [(term, cached, true)] for every term (C1/C2/C3/TEIL) outside floating
+    tolerance.  Leaves the placement fully recomputed (i.e. repaired), so a
+    caller can treat drift as a recoverable diagnostic. *)
+
 val verify_consistency : t -> unit
-(** Asserts the incremental accumulators match a full recomputation within
-    floating tolerance; test hook. *)
+(** Asserts {!drift_report} is empty, raising [Failure] on the first
+    drifting term; test hook. *)
 
 (** {2 Trial support} *)
 

@@ -2,7 +2,10 @@ open Twmc_geometry
 
 let run ~rng ~placement ~stats ~limiter ~moves_per_loop ~t_start
     ?(allow_orient = true) ?(allow_variant = true) ?(interchanges = true)
-    ?(escape_fraction = 0.20) ?(max_loops = 150) ?(patience = 20) () =
+    ?(escape_fraction = 0.20) ?(max_loops = 150) ?(patience = 20) ?should_stop
+    () =
+  let poll = match should_stop with None -> fun () -> false | Some f -> f in
+  let stopped = ref false in
   let p = placement in
   let core = Placement.core p in
   (* rho = 1 makes the window temperature-independent: a constant-span
@@ -33,12 +36,16 @@ let run ~rng ~placement ~stats ~limiter ~moves_per_loop ~t_start
     !loops < max_loops
     && Placement.c2_raw p > 0.0
     && !since_improved < patience
+    && not !stopped
   do
     let ctx =
       if !loops >= cold_after && !loops mod 2 = 1 then ctx_escape else ctx_min
     in
-    for _ = 1 to moves_per_loop do
-      Moves.generate ctx rng ~temp:!temp
+    let i = ref 0 in
+    while !i < moves_per_loop && not !stopped do
+      Moves.generate ctx rng ~temp:!temp;
+      incr i;
+      if !i land 127 = 0 && poll () then stopped := true
     done;
     Placement.recompute_all p;
     let c2 = Placement.c2_raw p in

@@ -26,7 +26,10 @@ val run :
   ?escape_fraction:float ->
   ?max_loops:int ->
   ?patience:int ->
+  ?should_stop:(unit -> bool) ->
   unit ->
   int
 (** Returns the number of inner loops executed.  The placement's cost
-    accumulators are left fully recomputed. *)
+    accumulators are left fully recomputed.  [should_stop] is polled every
+    128 moves; when it fires the quench exits at the end of the current
+    poll interval (cooperative timeout). *)

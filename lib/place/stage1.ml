@@ -25,6 +25,7 @@ type result = {
   move_stats : Moves.stats;
   trace : temp_record list;
   temperatures_visited : int;
+  interrupted : bool;
 }
 
 let centered_core ~core_w ~core_h =
@@ -67,7 +68,7 @@ let avg_effective_cell_area p =
   done;
   float_of_int !total /. float_of_int (max 1 n)
 
-let run ?(params = Params.default) ?core ?on_temp ~rng nl =
+let run ?(params = Params.default) ?core ?on_temp ?should_stop ~rng nl =
   let core =
     match core with
     | Some c -> c
@@ -102,15 +103,25 @@ let run ?(params = Params.default) ?core ?on_temp ~rng nl =
   let trace = ref [] in
   let n_temps = ref 0 in
   let t_floor = 1e-4 *. t_inf in
+  let poll = match should_stop with None -> fun () -> false | Some f -> f in
+  let stopped = ref false in
+  (* Cooperative timeout: poll the guard every 128 moves so a wall-clock
+     budget cuts the anneal off mid-inner-loop, not at the next temperature. *)
+  let inner temp =
+    let i = ref 0 in
+    while !i < a && not !stopped do
+      Moves.generate ctx rng ~temp;
+      incr i;
+      if !i land 127 = 0 && poll () then stopped := true
+    done
+  in
   let rec loop temp =
     incr n_temps;
     let accepted_before =
       stats.Moves.displacements + stats.Moves.interchanges
       + stats.Moves.orient_changes + stats.Moves.aspect_rescues
     in
-    for _ = 1 to a do
-      Moves.generate ctx rng ~temp
-    done;
+    inner temp;
     (* Correct any float drift in the incremental accumulators. *)
     Placement.recompute_all p;
     let accepted_after =
@@ -128,8 +139,9 @@ let run ?(params = Params.default) ?core ?on_temp ~rng nl =
     in
     trace := rec_ :: !trace;
     (match on_temp with Some f -> f rec_ | None -> ());
+    if !stopped then ()
     (* Stop after an inner loop at the minimum window span (Sec 3.3). *)
-    if Range_limiter.at_min_span limiter ~temp then quench temp 0
+    else if Range_limiter.at_min_span limiter ~temp then quench temp 0
     else
       let temp' = Schedule.next schedule temp in
       if temp' < t_floor then quench temp' 0 else loop temp'
@@ -140,7 +152,7 @@ let run ?(params = Params.default) ?core ?on_temp ~rng nl =
     n_temps :=
       !n_temps
       + Quench.run ~rng ~placement:p ~stats ~limiter ~moves_per_loop:a
-          ~t_start:temp ()
+          ~t_start:temp ?should_stop ()
   in
   loop t_inf;
   Placement.recompute_all p;
@@ -154,4 +166,5 @@ let run ?(params = Params.default) ?core ?on_temp ~rng nl =
     chip = Placement.chip_bbox p;
     move_stats = stats;
     trace = List.rev !trace;
-    temperatures_visited = !n_temps }
+    temperatures_visited = !n_temps;
+    interrupted = !stopped || poll () }

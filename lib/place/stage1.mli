@@ -29,14 +29,20 @@ type result = {
   move_stats : Moves.stats;
   trace : temp_record list;
   temperatures_visited : int;
+  interrupted : bool;
+      (** True when [should_stop] cut the anneal short; the placement is the
+          (consistent) state reached so far, not a converged one. *)
 }
 
 val run :
   ?params:Params.t ->
   ?core:Twmc_geometry.Rect.t ->
   ?on_temp:(temp_record -> unit) ->
+  ?should_stop:(unit -> bool) ->
   rng:Twmc_sa.Rng.t ->
   Twmc_netlist.Netlist.t ->
   result
 (** When [core] is omitted it is determined by {!Twmc_estimator.Core_area}
-    and centered on the origin. *)
+    and centered on the origin.  [should_stop] is polled every 128 moves
+    inside the inner loop (cooperative timeout): when it returns true the
+    anneal exits after repairing its cost caches, flagging [interrupted]. *)

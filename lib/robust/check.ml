@@ -1,0 +1,40 @@
+module Parser = Twmc_netlist.Parser
+module Builder = Twmc_netlist.Builder
+
+type result = {
+  diagnostics : Diagnostic.t list;
+  netlist : Twmc_netlist.Netlist.t option;
+}
+
+let of_builder ?file b =
+  let decl_diags = Lint.builder ?file b in
+  if Diagnostic.has_errors decl_diags then
+    { diagnostics = decl_diags; netlist = None }
+  else
+    match Builder.build b with
+    | nl -> { diagnostics = decl_diags @ Lint.netlist nl; netlist = Some nl }
+    | exception Invalid_argument m ->
+        { diagnostics =
+            decl_diags @ [ Diagnostic.make ?file ~code:"E107" m ];
+          netlist = None }
+    | exception Failure m ->
+        { diagnostics =
+            decl_diags @ [ Diagnostic.make ?file ~code:"E108" m ];
+          netlist = None }
+
+let string ?(file = "<string>") s =
+  match Parser.builder_of_string ~file s with
+  | b -> of_builder ~file b
+  | exception Parser.Parse_error { file; line; msg } ->
+      { diagnostics = [ Diagnostic.make ~file ~line ~code:"P001" msg ];
+        netlist = None }
+
+let file path =
+  match Parser.read_file path with
+  | s -> string ~file:path s
+  | exception Sys_error m ->
+      { diagnostics = [ Diagnostic.make ~file:path ~code:"P000" m ];
+        netlist = None }
+
+let ok ?(strict = false) r =
+  Option.is_some r.netlist && Diagnostic.fatal ~strict r.diagnostics = []

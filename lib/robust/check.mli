@@ -1,0 +1,26 @@
+(** The [twmc check] pipeline: read → parse → lint → build → lint again.
+
+    Never raises.  Every failure mode surfaces as diagnostics:
+    - unreadable file → [P000];
+    - syntax / malformed-geometry error → [P001] with file and line;
+    - declaration-level lint ({!Twmc_netlist.Builder.lint_specs}) → [E1xx]/[W2xx];
+    - construction failure despite clean lint → [E107] ([Invalid_argument])
+      or [E108] ([Failure]) as catch-alls;
+    - built-netlist lint ({!Lint.netlist}) → [E1xx]/[W2xx]. *)
+
+type result = {
+  diagnostics : Diagnostic.t list;
+  netlist : Twmc_netlist.Netlist.t option;
+      (** [Some] iff parsing and construction succeeded; lint warnings (and
+          even lint errors discovered post-build) leave it available so a
+          lenient caller can proceed at its own risk. *)
+}
+
+val string : ?file:string -> string -> result
+(** [file] labels diagnostics (default ["<string>"]). *)
+
+val file : string -> result
+
+val ok : ?strict:bool -> result -> bool
+(** A usable verdict: a netlist was built and {!Diagnostic.fatal} is empty
+    ([strict] defaults to [false], i.e. warnings do not fail the check). *)

@@ -1,0 +1,59 @@
+module Placement = Twmc_place.Placement
+module Netlist = Twmc_netlist.Netlist
+module Cell = Twmc_netlist.Cell
+
+type cell_state = {
+  x : int;
+  y : int;
+  orient : Twmc_geometry.Orient.t;
+  variant : int;
+  sites : int array;
+}
+
+type t = {
+  cells : cell_state array;
+  core : Twmc_geometry.Rect.t;
+  expander : Placement.expander;
+  p2 : float;
+  teil : float;
+  cost : float;
+}
+
+let capture p =
+  let nl = Placement.netlist p in
+  let cells =
+    Array.init (Netlist.n_cells nl) (fun ci ->
+        let x, y = Placement.cell_pos p ci in
+        let n_pins = Cell.n_pins nl.Netlist.cells.(ci) in
+        { x;
+          y;
+          orient = Placement.cell_orient p ci;
+          variant = Placement.cell_variant p ci;
+          sites =
+            Array.init n_pins (fun pin -> Placement.site_of_pin p ~cell:ci ~pin) })
+  in
+  let expander =
+    match Placement.expander p with
+    | Placement.Static exps -> Placement.Static (Array.copy exps)
+    | e -> e
+  in
+  { cells;
+    core = Placement.core p;
+    expander;
+    p2 = Placement.p2 p;
+    teil = Placement.teil p;
+    cost = Placement.total_cost p }
+
+let restore p t =
+  Placement.set_core p t.core;
+  Placement.set_expander p t.expander;
+  Placement.set_p2 p t.p2;
+  Array.iteri
+    (fun ci (c : cell_state) ->
+      Placement.set_cell p ci ~x:c.x ~y:c.y ~orient:c.orient ~variant:c.variant
+        ~sites:(Array.copy c.sites) ())
+    t.cells;
+  Placement.recompute_all p
+
+let teil t = t.teil
+let cost t = t.cost

@@ -1,0 +1,21 @@
+(** Best-so-far placement checkpointing.
+
+    A checkpoint is a deep copy of everything that defines a placement
+    configuration — per-cell position/orientation/variant/pin-site
+    assignment, the core rectangle, the expansion model and the [p2]
+    normalization — taken through the public {!Twmc_place.Placement} API so
+    it stays valid across representation changes.  The guarded flow driver
+    captures one after every successful stage and rolls back to it when a
+    later stage throws, regresses, or times out. *)
+
+type t
+
+val capture : Twmc_place.Placement.t -> t
+(** Also records the TEIL and total cost at capture time. *)
+
+val restore : Twmc_place.Placement.t -> t -> unit
+(** Restores the captured configuration into the placement (which must be
+    over the same netlist) and recomputes all caches. *)
+
+val teil : t -> float
+val cost : t -> float

@@ -1,0 +1,35 @@
+type t = { deadline : float option }
+
+let create ?time_budget_s () =
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) time_budget_s
+  in
+  { deadline }
+
+let expired t =
+  match t.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () >= d
+
+let should_stop t () = expired t
+
+let remaining_s t =
+  Option.map (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ())) t.deadline
+
+type 'a outcome =
+  | Ok of 'a
+  | Failed of Diagnostic.t
+
+let stage t ~name f =
+  ignore t;
+  match f () with
+  | v -> Ok v
+  | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
+  | exception e ->
+      Failed
+        (Diagnostic.make ~severity:Diagnostic.Error ~entity:name ~code:"G400"
+           (Printf.sprintf "stage raised %s" (Printexc.to_string e)))
+
+let timeout_diag ~name =
+  Diagnostic.make ~severity:Diagnostic.Warning ~entity:name ~code:"G401"
+    (Printf.sprintf "stage cut short by the wall-clock budget")

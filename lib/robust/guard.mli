@@ -1,0 +1,32 @@
+(** Stage guards: wall-clock budgets and exception containment (codes G4xx).
+
+    A guard owns an optional wall-clock deadline for a whole flow.  Stages
+    receive a {!should_stop} closure to poll cooperatively (the SA inner
+    loops check it every 128 moves) and are run through {!stage}, which
+    converts any escaping exception into a [G400] diagnostic instead of
+    killing the flow. *)
+
+type t
+
+val create : ?time_budget_s:float -> unit -> t
+(** [time_budget_s] is measured from this call with [Unix.gettimeofday].
+    Without it the guard never expires. *)
+
+val should_stop : t -> unit -> bool
+(** Closure suitable for the [?should_stop] parameter of the annealing
+    loops; true once the deadline has passed. *)
+
+val expired : t -> bool
+val remaining_s : t -> float option
+
+type 'a outcome =
+  | Ok of 'a
+  | Failed of Diagnostic.t  (** The stage raised; diagnostic code G400. *)
+
+val stage : t -> name:string -> (unit -> 'a) -> 'a outcome
+(** Runs the thunk, containing exceptions.  [Out_of_memory] and
+    [Stack_overflow] are re-raised ([Sys.Break] too): masking those would
+    hide real resource exhaustion. *)
+
+val timeout_diag : name:string -> Diagnostic.t
+(** A [G401] diagnostic noting that [name] was cut short by the budget. *)

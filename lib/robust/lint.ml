@@ -1,0 +1,143 @@
+open Twmc_geometry
+open Twmc_netlist
+
+let builder ?file b =
+  List.map (Diagnostic.of_triple ?file) (Builder.lint_specs b)
+
+(* Is a cell-local point on the boundary of the variant's shape? *)
+let on_boundary (v : Cell.variant) (x, y) =
+  List.exists
+    (fun (e : Edge.t) ->
+      match e.Edge.dir with
+      | Edge.V ->
+          x = e.Edge.pos
+          && y >= e.Edge.span.Interval.lo
+          && y <= e.Edge.span.Interval.hi
+      | Edge.H ->
+          y = e.Edge.pos
+          && x >= e.Edge.span.Interval.lo
+          && x <= e.Edge.span.Interval.hi)
+    v.Cell.edges
+
+let duplicates names =
+  let seen = Hashtbl.create 16 and dups = ref [] in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem seen n then begin
+        if not (List.mem n !dups) then dups := n :: !dups
+      end
+      else Hashtbl.add seen n ())
+    names;
+  List.rev !dups
+
+let netlist (nl : Netlist.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  List.iter
+    (fun n ->
+      add (Diagnostic.make ~entity:n ~code:"E101"
+             (Printf.sprintf "duplicate cell name %s" n)))
+    (duplicates (Array.map (fun (c : Cell.t) -> c.Cell.name) nl.Netlist.cells));
+  List.iter
+    (fun n ->
+      add (Diagnostic.make ~entity:n ~code:"E110"
+             (Printf.sprintf "duplicate net name %s" n)))
+    (duplicates (Array.map (fun (n : Net.t) -> n.Net.name) nl.Netlist.nets));
+  Array.iter
+    (fun (c : Cell.t) ->
+      let nv = Cell.n_variants c in
+      (* Committed pins belong on the cell boundary: an interior pin is a
+         pad buried in the cell body that no channel can reach. *)
+      Array.iter
+        (fun (p : Pin.t) ->
+          match p.Pin.loc with
+          | Pin.Fixed (x, y) ->
+              if not (on_boundary (Cell.variant c 0) (x, y)) then
+                add (Diagnostic.make ~entity:c.Cell.name ~code:"W204"
+                       (Printf.sprintf
+                          "pin %s at (%d, %d) is not on the cell boundary"
+                          p.Pin.name x y))
+          | Pin.Uncommitted _ -> ())
+        c.Cell.pins;
+      (* Site feasibility for uncommitted pins, per variant: C3 can only
+         anneal to zero if every pin has a legal site and demand fits. *)
+      let uncommitted =
+        Array.to_list c.Cell.pins
+        |> List.mapi (fun i p -> (i, p))
+        |> List.filter (fun (_, (p : Pin.t)) -> not (Pin.is_committed p))
+      in
+      if uncommitted <> [] then begin
+        List.iter
+          (fun (i, (p : Pin.t)) ->
+            let empty_in =
+              List.filter
+                (fun v -> Cell.allowed_sites c ~variant:v i = [])
+                (List.init nv Fun.id)
+            in
+            if List.length empty_in = nv then
+              add (Diagnostic.make ~entity:c.Cell.name ~code:"E109"
+                     (Printf.sprintf
+                        "pin %s has no allowed pin site in any variant"
+                        p.Pin.name))
+            else if empty_in <> [] then
+              add (Diagnostic.make ~entity:c.Cell.name ~code:"W205"
+                     (Printf.sprintf
+                        "pin %s has no allowed pin site in %d of %d variants"
+                        p.Pin.name (List.length empty_in) nv)))
+          uncommitted;
+        (* Aggregate demand vs the worst variant's capacity. *)
+        let min_capacity =
+          List.fold_left
+            (fun acc v ->
+              let cap =
+                Array.fold_left
+                  (fun s (site : Pin_site.t) -> s + site.Pin_site.capacity)
+                  0 (Cell.variant c v).Cell.sites
+              in
+              min acc cap)
+            max_int (List.init nv Fun.id)
+        in
+        let demand = List.length uncommitted in
+        if min_capacity < max_int && demand > min_capacity then
+          add (Diagnostic.make ~entity:c.Cell.name ~code:"W203"
+                 (Printf.sprintf
+                    "%d uncommitted pins exceed the worst-variant site \
+                     capacity %d: C3 cannot reach zero"
+                    demand min_capacity));
+        (* Per-side demand for pins restricted to exactly one side. *)
+        List.iter
+          (fun side ->
+            let wants =
+              List.length
+                (List.filter
+                   (fun (_, (p : Pin.t)) ->
+                     match p.Pin.loc with
+                     | Pin.Uncommitted (Pin.Sides [ s ]) -> Side.equal s side
+                     | _ -> false)
+                   uncommitted)
+            in
+            if wants > 0 then begin
+              let side_cap v =
+                Array.fold_left
+                  (fun s (site : Pin_site.t) ->
+                    if Side.equal site.Pin_site.side side then
+                      s + site.Pin_site.capacity
+                    else s)
+                  0 (Cell.variant c v).Cell.sites
+              in
+              let cap =
+                List.fold_left
+                  (fun acc v -> min acc (side_cap v))
+                  max_int (List.init nv Fun.id)
+              in
+              if wants > cap then
+                add (Diagnostic.make ~entity:c.Cell.name ~code:"W203"
+                       (Printf.sprintf
+                          "%d pins restricted to side %s exceed its \
+                           worst-variant capacity %d"
+                          wants (Side.to_string side) cap))
+            end)
+          [ Side.Left; Side.Right; Side.Bottom; Side.Top ]
+      end)
+    nl.Netlist.cells;
+  List.rev !ds

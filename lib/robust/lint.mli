@@ -1,0 +1,19 @@
+(** Netlist lint: structured diagnostics instead of constructor exceptions.
+
+    Two passes, matching the two points where a netlist can be inspected:
+
+    - {!builder} lints the {e declarations} accumulated in a
+      {!Twmc_netlist.Builder.t} — it runs before cell construction, so
+      duplicate names, dangling nets, nonpositive areas and the like are
+      reported as diagnostics rather than crashing {!Twmc_netlist.Builder.build};
+    - {!netlist} lints a {e built} netlist — deeper geometric checks that
+      need actual cells: pins with no legal site (C3 unsatisfiable), pin-site
+      demand over capacity at [T∞], committed pins off the cell boundary.
+
+    Neither pass raises. *)
+
+val builder : ?file:string -> Twmc_netlist.Builder.t -> Diagnostic.t list
+(** Declaration-level lint (codes E100–E106, W201–W202). *)
+
+val netlist : Twmc_netlist.Netlist.t -> Diagnostic.t list
+(** Built-netlist lint (codes E101, E109, E110, W203–W205). *)

@@ -1,0 +1,9 @@
+(** Robustness layer: structured diagnostics, netlist lint, inter-stage
+    invariant checks, placement checkpointing and guarded execution. *)
+
+module Diagnostic = Diagnostic
+module Lint = Lint
+module Invariant = Invariant
+module Checkpoint = Checkpoint
+module Guard = Guard
+module Check = Check

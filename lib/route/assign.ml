@@ -7,15 +7,19 @@ type result = {
   overflow : int;
   edge_density : int array;
   attempts : int;
+  skipped : int list;
 }
 
 let run ?m ~rng ~graph ~alternatives () =
   let n_nets = Array.length alternatives in
+  (* A net with no stored alternative cannot abort the whole selection:
+     mark it unroutable (skipped) and select among the rest. *)
+  let skipped = ref [] in
   Array.iteri
-    (fun i a ->
-      if Array.length a = 0 then
-        invalid_arg (Printf.sprintf "Assign.run: net %d has no alternative" i))
+    (fun i a -> if Array.length a = 0 then skipped := i :: !skipped)
     alternatives;
+  let skipped = List.rev !skipped in
+  let live i = Array.length alternatives.(i) > 0 in
   let m =
     match m with
     | Some m -> m
@@ -27,7 +31,7 @@ let run ?m ~rng ~graph ~alternatives () =
   let use sign (r : Steiner.route) =
     List.iter (fun e -> density.(e) <- density.(e) + sign) r.Steiner.edges
   in
-  Array.iter (fun a -> use 1 a.(0)) alternatives;
+  Array.iteri (fun i a -> if live i then use 1 a.(0)) alternatives;
   let capacity e = graph.G.edges.(e).G.capacity in
   let overflow_of_edge e = max 0 (density.(e) - capacity e) in
   let x = ref 0 in
@@ -35,7 +39,9 @@ let run ?m ~rng ~graph ~alternatives () =
     x := !x + overflow_of_edge e
   done;
   let l = ref 0 in
-  Array.iteri (fun i a -> l := !l + a.(chosen.(i)).Steiner.length) alternatives;
+  Array.iteri
+    (fun i a -> if live i then l := !l + a.(chosen.(i)).Steiner.length)
+    alternatives;
   (* Nets using each edge, maintained incrementally as chosen routes move. *)
   let users = Array.make n_edges [] in
   let add_user i r =
@@ -46,7 +52,7 @@ let run ?m ~rng ~graph ~alternatives () =
       (fun e -> users.(e) <- List.filter (fun j -> j <> i) users.(e))
       r.Steiner.edges
   in
-  Array.iteri (fun i a -> add_user i a.(0)) alternatives;
+  Array.iteri (fun i a -> if live i then add_user i a.(0)) alternatives;
   (* ΔX and ΔL are computed by applying the change for real and reverting
      on rejection — routes are short, so this is cheap and exact even when
      the old and new routes share edges. *)
@@ -120,4 +126,5 @@ let run ?m ~rng ~graph ~alternatives () =
     total_length = !l;
     overflow = !x;
     edge_density = density;
-    attempts = !attempts }
+    attempts = !attempts;
+    skipped }

@@ -15,6 +15,11 @@ type result = {
   overflow : int;  (** Final [X]. *)
   edge_density : int array;  (** Final [D_j] per channel-graph edge. *)
   attempts : int;
+  skipped : int list;
+      (** Nets (indices into [alternatives]) that arrived with no stored
+          alternative: they are excluded from selection and from [L]/[X]
+          instead of aborting the run — the caller reports them
+          unroutable. *)
 }
 
 val run :
@@ -25,5 +30,6 @@ val run :
   unit ->
   result
 (** [alternatives.(i)] are net [i]'s routes, shortest first (index 0 is the
-    [k = 1] route); every net must have at least one.  [m] is the [M] of the
-    stopping criterion (defaults to the maximum alternative count). *)
+    [k = 1] route); a net with none is degraded into [skipped] rather than
+    rejected.  [m] is the [M] of the stopping criterion (defaults to the
+    maximum alternative count). *)

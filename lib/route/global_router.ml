@@ -13,16 +13,21 @@ type result = {
   assign_attempts : int;
 }
 
-let route ?(m = 20) ?budget_factor ~rng ~graph ~tasks () =
+let route ?(m = 20) ?budget_factor ?should_stop ~rng ~graph ~tasks () =
+  let poll = match should_stop with None -> fun () -> false | Some f -> f in
   let with_routes, unroutable =
     List.fold_left
       (fun (ok, bad) (task : Pin_map.net_task) ->
-        let terminals =
-          List.map (fun t -> t.Pin_map.candidates) task.Pin_map.terminals
-        in
-        match Steiner.routes ?budget_factor graph ~m ~terminals with
-        | [] -> (ok, task.Pin_map.net :: bad)
-        | routes -> ((task.Pin_map.net, Array.of_list routes) :: ok, bad))
+        (* Cooperative timeout between nets: once the budget is gone, the
+           remaining nets are reported unroutable rather than enumerated. *)
+        if poll () then (ok, task.Pin_map.net :: bad)
+        else
+          let terminals =
+            List.map (fun t -> t.Pin_map.candidates) task.Pin_map.terminals
+          in
+          match Steiner.routes ?budget_factor graph ~m ~terminals with
+          | [] -> (ok, task.Pin_map.net :: bad)
+          | routes -> ((task.Pin_map.net, Array.of_list routes) :: ok, bad))
       ([], []) tasks
   in
   let with_routes = List.rev with_routes in
@@ -38,18 +43,21 @@ let route ?(m = 20) ?budget_factor ~rng ~graph ~tasks () =
       assign_attempts = 0 }
   else begin
     let a = Assign.run ~m ~rng ~graph ~alternatives () in
+    let skipped = List.map (fun i -> nets.(i)) a.Assign.skipped in
     let routed =
-      Array.to_list
-        (Array.mapi
-           (fun i net ->
-             { net;
-               route = alternatives.(i).(a.Assign.chosen.(i));
-               alternatives = Array.length alternatives.(i) })
-           nets)
+      List.filter_map
+        (fun i ->
+          if List.mem i a.Assign.skipped then None
+          else
+            Some
+              { net = nets.(i);
+                route = alternatives.(i).(a.Assign.chosen.(i));
+                alternatives = Array.length alternatives.(i) })
+        (List.init (Array.length nets) Fun.id)
     in
     { graph;
       routed;
-      unroutable = List.rev unroutable;
+      unroutable = List.rev_append unroutable skipped;
       total_length = a.Assign.total_length;
       overflow = a.Assign.overflow;
       edge_density = a.Assign.edge_density;

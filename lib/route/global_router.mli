@@ -16,7 +16,8 @@ type result = {
   graph : Twmc_channel.Graph.t;
   routed : routed_net list;
   unroutable : int list;
-      (** Nets whose terminals span disconnected graph components. *)
+      (** Nets whose terminals span disconnected graph components, plus any
+          skipped when a [should_stop] budget fired mid-enumeration. *)
   total_length : int;  (** [L] over routed nets. *)
   overflow : int;  (** Final [X]. *)
   edge_density : int array;
@@ -26,12 +27,16 @@ type result = {
 val route :
   ?m:int ->
   ?budget_factor:int ->
+  ?should_stop:(unit -> bool) ->
   rng:Twmc_sa.Rng.t ->
   graph:Twmc_channel.Graph.t ->
   tasks:Twmc_channel.Pin_map.net_task list ->
   unit ->
   result
-(** [m] defaults to 20 (Sec 4.2.1: "typically on the order of 20"). *)
+(** [m] defaults to 20 (Sec 4.2.1: "typically on the order of 20").
+    [should_stop] is polled between nets during phase-1 enumeration; when it
+    fires the remaining nets are reported unroutable (graceful
+    degradation under a wall-clock budget). *)
 
 val node_density : result -> int array
 (** Per region: the maximum density of its incident channel-graph edges —

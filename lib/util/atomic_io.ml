@@ -1,0 +1,15 @@
+let write_file path f =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  match
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_string path s = write_file path (fun oc -> output_string oc s)

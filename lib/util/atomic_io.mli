@@ -1,0 +1,14 @@
+(** Atomic file output: write to a temporary file in the destination
+    directory, then [Sys.rename] it over the target.  On POSIX the rename
+    is atomic, so a crash (or a concurrent reader) never observes a
+    truncated file — the target either holds its previous contents or the
+    complete new ones.  Every emitter in the package (netlist writer, SVG,
+    CSV) routes through here. *)
+
+val write_file : string -> (out_channel -> unit) -> unit
+(** [write_file path f] runs [f] on a channel backed by a fresh temporary
+    file next to [path], closes it, and renames it to [path].  The
+    temporary file is removed if [f] or the rename raises. *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] atomically replaces [path]'s contents with [s]. *)

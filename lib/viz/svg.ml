@@ -70,8 +70,4 @@ let to_string t =
      fill=\"white\"/>\n%s</svg>\n"
     (doc_w t) (doc_h t) (doc_w t) (doc_h t) (Buffer.contents t.buf)
 
-let write path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string t))
+let write path t = Twmc_util.Atomic_io.write_string path (to_string t)

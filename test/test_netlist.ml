@@ -171,8 +171,19 @@ let test_netlist_build () =
   check "pins" 4 (Netlist.total_pins nl);
   check "cell index" 1 (Netlist.cell_index nl "m1");
   check "net index" 0 (Netlist.net_index nl "n0");
-  Alcotest.check_raises "unknown cell" Not_found (fun () ->
-      ignore (Netlist.cell_index nl "zz"));
+  checkb "unknown cell opt" true (Netlist.cell_index_opt nl "zz" = None);
+  checkb "unknown cell named error" true
+    (try
+       ignore (Netlist.cell_index nl "zz");
+       false
+     with Invalid_argument msg ->
+       (* The message names both the missing entity and the netlist. *)
+       let mem sub =
+         let n = String.length sub and len = String.length msg in
+         let rec go i = i + n <= len && (String.sub msg i n = sub || go (i + 1)) in
+         go 0
+       in
+       mem "zz" && mem "tiny");
   let n1 = nl.Netlist.nets.(Netlist.net_index nl "n1") in
   Alcotest.(check (float 0.0)) "hweight" 2.0 n1.Net.hweight;
   check "nets of cell 0" 2 (List.length nl.Netlist.nets_of_cell.(0));
@@ -259,7 +270,7 @@ let test_parser () =
 
 let expect_parse_error ~line text =
   match Parser.parse_string text with
-  | exception Parser.Parse_error (l, _) ->
+  | exception Parser.Parse_error { line = l; _ } ->
       check (Printf.sprintf "error line for %S" text) line l
   | _ -> Alcotest.fail "expected parse error"
 
@@ -273,7 +284,7 @@ let test_parser_errors () =
      Parser.parse_string
        "circuit c\ntrack_spacing 2\ncell x macro\n  tile 0 0 5 5"
    with
-  | exception Parser.Parse_error (_, msg) ->
+  | exception Parser.Parse_error { msg; _ } ->
       checkb "unterminated" true (String.sub msg 0 12 = "unterminated")
   | _ -> Alcotest.fail "expected parse error");
   expect_parse_error ~line:1 "cell x macro"

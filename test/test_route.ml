@@ -299,15 +299,19 @@ let test_assign_keeps_shortest_when_free () =
   check "no attempts needed" 0 res.Assign.attempts;
   check "overflow 0" 0 res.Assign.overflow
 
-let test_assign_rejects_empty () =
+let test_assign_skips_empty () =
+  (* A net with no route alternatives degrades to [skipped] instead of
+     rejecting the whole assignment; nets that do have routes still get one. *)
   let g = line 3 ~cell:10 in
-  checkb "empty alternative rejected" true
-    (try
-       ignore
-         (Assign.run ~rng:(Twmc_sa.Rng.create ~seed:6) ~graph:g
-            ~alternatives:[| [||] |] ());
-       false
-     with Invalid_argument _ -> true)
+  let r = Steiner.routes g ~m:3 ~terminals:[ [ 0 ]; [ 2 ] ] in
+  let res =
+    Assign.run ~rng:(Twmc_sa.Rng.create ~seed:6) ~graph:g
+      ~alternatives:[| [||]; Array.of_list r |] ()
+  in
+  Alcotest.(check (list int)) "skipped net listed" [ 0 ] res.Assign.skipped;
+  checkb "live net still assigned" true
+    (res.Assign.chosen.(1) >= 0
+    && res.Assign.chosen.(1) < List.length r)
 
 (* ------------------------------------------------------- Global router *)
 
@@ -405,7 +409,7 @@ let () =
       ( "assign",
         [ Alcotest.test_case "resolves conflict" `Quick test_assign_resolves_conflict;
           Alcotest.test_case "keeps shortest" `Quick test_assign_keeps_shortest_when_free;
-          Alcotest.test_case "rejects empty" `Quick test_assign_rejects_empty ] );
+          Alcotest.test_case "skips empty" `Quick test_assign_skips_empty ] );
       ( "global router",
         [ Alcotest.test_case "end to end" `Quick test_global_router_end_to_end ] );
       ( "congestion",
