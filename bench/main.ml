@@ -150,7 +150,7 @@ let micro_tests () =
   [ t_schedule; t_expansion; t_generate; t_extract; t_steiner; t_modulation;
     t_window; t_parse ]
 
-let run_micro () =
+let run_micro_bechamel () =
   let open Bechamel in
   let tests = micro_tests () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -158,6 +158,7 @@ let run_micro () =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
   in
   Format.printf "@.Bechamel kernels (monotonic clock):@.";
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -170,22 +171,160 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Format.printf "  %-48s %12.1f ns/run@." name est
+          | Some [ est ] ->
+              collected := (name, est) :: !collected;
+              Format.printf "  %-48s %12.1f ns/run@." name est
           | _ -> Format.printf "  %-48s (no estimate)@." name)
         results)
-    tests
+    tests;
+  List.rev !collected
+
+(* ------------------------------------- multicore kernels (1/2/4 domains) *)
+
+(* Wall-clock (not Bechamel) timing: a best-of-4 stage-1 run takes long
+   enough that OLS sampling would be wasteful, and CPU time is the wrong
+   clock for a speedup measurement. *)
+let wall_time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* The medium synthetic circuit (the 25-cell default spec behind
+   examples/netlists/medium.twn), annealed at a reduced A_c so one
+   best-of-4 pass stays in benchmark territory. *)
+let parallel_netlist =
+  lazy (Twmc_workload.Synth.generate ~seed:11 Twmc_workload.Synth.default_spec)
+
+let parallel_params = { Twmc_place.Params.default with Twmc_place.Params.a_c = 30 }
+
+(* A placement fingerprint: the parallel layer promises bit-identical
+   winners across --jobs settings, so the kernels verify it while timing. *)
+let fingerprint (r : Twmc_place.Stage1.result) =
+  let p = r.Twmc_place.Stage1.placement in
+  let nl = Twmc_place.Placement.netlist p in
+  let acc = ref 0 in
+  for ci = 0 to Twmc_netlist.Netlist.n_cells nl - 1 do
+    let x, y = Twmc_place.Placement.cell_pos p ci in
+    let o = Twmc_place.Placement.cell_orient p ci in
+    acc := Hashtbl.hash (!acc, x, y, o, Twmc_place.Placement.cell_variant p ci)
+  done;
+  !acc
+
+let stage1_multicore_kernels () =
+  let nl = Lazy.force parallel_netlist in
+  let k = 4 in
+  let run_at jobs =
+    let run pool =
+      Twmc_place.Stage1.run_best_of_k ~params:parallel_params ?pool
+        ~rng:(Twmc_sa.Rng.create ~seed:3) ~k nl
+    in
+    if jobs <= 1 then wall_time (fun () -> run None)
+    else
+      Twmc_util.Domain_pool.with_pool ~jobs (fun p ->
+          wall_time (fun () -> run (Some p)))
+  in
+  Format.printf "@.Parallel stage-1 (best-of-%d, medium synthetic):@." k;
+  let base = ref nan and base_fp = ref 0 and rows = ref [] in
+  List.iter
+    (fun jobs ->
+      let mr, dt = run_at jobs in
+      let fp = fingerprint mr.Twmc_place.Stage1.best in
+      if jobs = 1 then begin
+        base := dt;
+        base_fp := fp
+      end;
+      let name = Printf.sprintf "stage1 best-of-%d (jobs=%d)" k jobs in
+      rows := (name, dt *. 1e9) :: !rows;
+      Format.printf "  %-48s %8.0f ms  speedup %.2fx  winner=%d %s@." name
+        (dt *. 1000.0) (!base /. dt) mr.Twmc_place.Stage1.best_index
+        (if fp = !base_fp then "[identical]" else "[MISMATCH]");
+      if fp <> !base_fp then failwith "best-of-K winner differs across jobs")
+    [ 1; 2; 4 ];
+  List.rev !rows
+
+let route_multicore_kernels () =
+  let p, g = Lazy.force bench_channel_scene in
+  let tasks = Twmc_channel.Pin_map.tasks g p in
+  let run_at jobs =
+    let run pool =
+      Twmc_route.Global_router.route ~m:8 ?pool
+        ~rng:(Twmc_sa.Rng.create ~seed:4) ~graph:g ~tasks ()
+    in
+    if jobs <= 1 then wall_time (fun () -> run None)
+    else
+      Twmc_util.Domain_pool.with_pool ~jobs (fun pl ->
+          wall_time (fun () -> run (Some pl)))
+  in
+  Format.printf "@.Parallel per-net route enumeration:@.";
+  let base = ref nan and base_len = ref 0 and rows = ref [] in
+  List.iter
+    (fun jobs ->
+      let r, dt = run_at jobs in
+      if jobs = 1 then begin
+        base := dt;
+        base_len := r.Twmc_route.Global_router.total_length
+      end;
+      let name = Printf.sprintf "router phase-1 (jobs=%d)" jobs in
+      rows := (name, dt *. 1e9) :: !rows;
+      Format.printf "  %-48s %8.1f ms  speedup %.2fx  L=%d %s@." name
+        (dt *. 1000.0) (!base /. dt) r.Twmc_route.Global_router.total_length
+        (if r.Twmc_route.Global_router.total_length = !base_len then
+           "[identical]"
+         else "[MISMATCH]"))
+    [ 1; 2; 4 ];
+  List.rev !rows
+
+(* ------------------------------------------------------- JSON emission *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path kernels =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_op\": %.1f}%s\n"
+           (json_escape name) ns
+           (if i = List.length kernels - 1 then "" else ",")))
+    kernels;
+  Buffer.add_string b "  ]\n}\n";
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755);
+  Twmc_util.Atomic_io.write_string path (Buffer.contents b);
+  Format.printf "@.wrote %s (%d kernels)@." path (List.length kernels)
+
+let run_micro ?json () =
+  let bechamel = run_micro_bechamel () in
+  let stage1 = stage1_multicore_kernels () in
+  let route = route_multicore_kernels () in
+  let kernels = bechamel @ stage1 @ route in
+  match json with None -> () | Some path -> write_json path kernels
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec strip_profile acc prof = function
-    | [] -> (List.rev acc, prof)
+  let rec strip acc prof json = function
+    | [] -> (List.rev acc, prof, json)
     | "--profile" :: p :: rest -> (
         match Profile.of_name p with
-        | Some p -> strip_profile acc p rest
+        | Some p -> strip acc p json rest
         | None -> failwith ("unknown profile " ^ p))
-    | a :: rest -> strip_profile (a :: acc) prof rest
+    | "--json" :: path :: rest -> strip acc prof (Some path) rest
+    | a :: rest -> strip (a :: acc) prof json rest
   in
-  let names, profile = strip_profile [] Profile.quick args in
+  let names, profile, json = strip [] Profile.quick None args in
   match names with
   | [] ->
       Format.printf
@@ -196,8 +335,8 @@ let () =
           run_experiment profile e;
           Format.printf "@.")
         all_experiments;
-      run_micro ()
-  | [ "micro" ] -> run_micro ()
+      run_micro ?json ()
+  | [ "micro" ] -> run_micro ?json ()
   | [ "tables" ] ->
       List.iter
         (fun e ->

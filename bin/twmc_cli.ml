@@ -125,6 +125,34 @@ let check_cmd =
 
 (* ------------------------------------------------------- place / flow *)
 
+(* --jobs/--replicas: policy (how many annealing replicas compete) is
+   separate from mechanism (how many domains execute them), so results
+   depend only on --replicas; --jobs is free to match the machine. *)
+let parallel_term =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel execution (stage-1 replicas, \
+             per-net route enumeration).  Results are bit-identical for \
+             any value; 0 means the number of cores.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "k"; "replicas" ] ~docv:"K"
+          ~doc:
+            "Independent stage-1 annealing replicas (split RNG streams); \
+             the lowest-cost placement wins.  Changes the result; more \
+             replicas buy quality, --jobs buys speed.")
+  in
+  let make jobs replicas =
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+    (max 1 jobs, max 1 replicas)
+  in
+  Term.(const make $ jobs $ replicas)
+
 let params_term =
   let a_c = Arg.(value & opt int 100 & info [ "a-c" ] ~docv:"N"
                    ~doc:"Attempted moves per cell per temperature (paper: 400).") in
@@ -139,10 +167,28 @@ let params_term =
 
 let place_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run (params, seed) file =
+  let run (params, seed) (jobs, replicas) file =
     let nl = read_netlist file in
     let rng = Twmc_sa.Rng.create ~seed in
-    let r = Twmc_place.Stage1.run ~params ~rng nl in
+    let r =
+      if replicas <= 1 then Twmc_place.Stage1.run ~params ~rng nl
+      else
+        let run_k pool =
+          Twmc_place.Stage1.run_best_of_k ~params ?pool ~rng ~k:replicas nl
+        in
+        let mr =
+          if jobs <= 1 then run_k None
+          else
+            Twmc_util.Domain_pool.with_pool ~jobs (fun p -> run_k (Some p))
+        in
+        Format.printf "best-of-%d: replica %d won (costs %s)@." replicas
+          mr.Twmc_place.Stage1.best_index
+          (String.concat ", "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%.0f")
+                   mr.Twmc_place.Stage1.replica_costs)));
+        mr.Twmc_place.Stage1.best
+    in
     Format.printf
       "stage 1: TEIL=%.0f C1=%.0f residual overlap=%.0f chip=%dx%d (%d \
        temperatures)@."
@@ -161,7 +207,7 @@ let place_cmd =
   in
   Cmd.v
     (Cmd.info "place" ~doc:"Run stage-1 placement only; print cell positions")
-    Term.(const run $ params_term $ file)
+    Term.(const run $ params_term $ parallel_term $ file)
 
 let flow_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -181,11 +227,12 @@ let flow_cmd =
       & info [ "max-retries" ] ~docv:"N"
           ~doc:"Stage-1 retries with perturbed seeds after a failure.")
   in
-  let run (params, seed) strict time_budget_s max_retries file =
+  let run (params, seed) (jobs, replicas) strict time_budget_s max_retries
+      file =
     let nl = read_netlist file in
     let rr =
       Twmc.Flow.run_resilient ~params ~seed ~strict ?time_budget_s
-        ~max_retries nl
+        ~max_retries ~jobs ~replicas nl
     in
     List.iter
       (fun d -> Format.eprintf "%a@." Twmc.Robust.Diagnostic.pp d)
@@ -218,16 +265,16 @@ let flow_cmd =
          "Run the complete two-stage TimberWolfMC flow under the guarded \
           driver (lint, invariant checks, checkpoint/rollback).  Exit \
           codes: 0 clean, 3 degraded, 4 invalid input, 5 budget expired.")
-    Term.(const run $ params_term $ strict_term $ time_budget $ max_retries
-          $ file)
+    Term.(const run $ params_term $ parallel_term $ strict_term $ time_budget
+          $ max_retries $ file)
 
 (* -------------------------------------------------------------- route *)
 
 let route_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run (params, seed) file =
+  let run (params, seed) (jobs, replicas) file =
     let nl = read_netlist file in
-    let r = Twmc.Flow.run ~params ~seed nl in
+    let r = Twmc.Flow.run ~params ~seed ~jobs ~replicas nl in
     match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
     | None -> Format.printf "no routing produced@."
     | Some route ->
@@ -254,7 +301,7 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route"
        ~doc:"Run the flow and report the final global routing per net")
-    Term.(const run $ params_term $ file)
+    Term.(const run $ params_term $ parallel_term $ file)
 
 (* --------------------------------------------------------------- draw *)
 

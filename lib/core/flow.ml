@@ -30,13 +30,30 @@ let assemble ~t0 nl (s1 : Stage1.result) (s2 : Stage2.result) =
     chip = s2.Stage2.chip;
     elapsed_s = Sys.time () -. t0 }
 
-let run ?(params = Params.default) ?seed nl =
+(* A pool is only worth its domains when asked for: [jobs = 1] keeps every
+   call on the caller's domain with zero synchronization. *)
+let with_optional_pool ~jobs f =
+  if jobs <= 1 then f None
+  else Twmc_util.Domain_pool.with_pool ~jobs (fun p -> f (Some p))
+
+(* Stage 1, possibly as a best-of-K multi-start (Sechen's independent-runs
+   parallelism: replicas differ only in their split RNG streams).  The
+   winner is chosen by cost with a lowest-index tie-break, so the outcome
+   depends on [replicas] but never on [jobs]. *)
+let stage1_best ~params ?should_stop ?pool ~rng ~replicas nl =
+  if replicas <= 1 then (Stage1.run ~params ?should_stop ~rng nl, None)
+  else
+    let mr = Stage1.run_best_of_k ~params ?should_stop ?pool ~rng ~k:replicas nl in
+    (mr.Stage1.best, Some mr)
+
+let run ?(params = Params.default) ?seed ?(jobs = 1) ?(replicas = 1) nl =
   let seed = match seed with Some s -> s | None -> params.Params.seed in
   let rng = Twmc_sa.Rng.create ~seed in
   let t0 = Sys.time () in
-  let s1 = Stage1.run ~params ~rng nl in
-  let s2 = Stage2.run ~rng s1 in
-  assemble ~t0 nl s1 s2
+  with_optional_pool ~jobs (fun pool ->
+      let s1, _ = stage1_best ~params ?pool ~rng ~replicas nl in
+      let s2 = Stage2.run ~rng ?pool s1 in
+      assemble ~t0 nl s1 s2)
 
 type status = Clean | Degraded | Invalid_input | Timed_out
 
@@ -54,7 +71,7 @@ type resilient_result = {
 }
 
 let run_resilient ?(params = Params.default) ?seed ?(strict = false)
-    ?time_budget_s ?(max_retries = 2) nl =
+    ?time_budget_s ?(max_retries = 2) ?(jobs = 1) ?(replicas = 1) nl =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let addl l = List.iter add l in
@@ -65,7 +82,8 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
   let lint = Lint.netlist nl in
   addl lint;
   if Diagnostic.fatal ~strict lint <> [] then finish None Invalid_input
-  else begin
+  else
+    with_optional_pool ~jobs (fun pool ->
     let guard = Guard.create ?time_budget_s () in
     let should_stop = Guard.should_stop guard in
     let base_seed = match seed with Some s -> s | None -> params.Params.seed in
@@ -79,7 +97,23 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
       let outcome =
         Guard.stage guard ~name:"stage1"
           (fun () ->
-            let s1 = Stage1.run ~params ~rng ~should_stop nl in
+            let s1, multi =
+              stage1_best ~params ~should_stop ?pool ~rng ~replicas nl
+            in
+            (match multi with
+            | Some mr ->
+                add
+                  (Diagnostic.make ~severity:Diagnostic.Info ~entity:"stage1"
+                     ~code:"G404"
+                     (Printf.sprintf
+                        "best-of-%d: replica %d won (cost %.0f of %s)"
+                        replicas mr.Stage1.best_index
+                        mr.Stage1.replica_costs.(mr.Stage1.best_index)
+                        (String.concat ","
+                           (Array.to_list
+                              (Array.map (Printf.sprintf "%.0f")
+                                 mr.Stage1.replica_costs)))))
+            | None -> ());
             let inv = Invariant.placement s1.Stage1.placement in
             addl inv;
             if Diagnostic.has_errors inv then
@@ -104,7 +138,7 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
     match stage1_attempt 0 with
     | None -> finish None Degraded
     | Some (rng, s1) ->
-        let s2 = Stage2.run ~rng ~should_stop ~resilient:true s1 in
+        let s2 = Stage2.run ~rng ~should_stop ~resilient:true ?pool s1 in
         addl s2.Stage2.diagnostics;
         let r = assemble ~t0 nl s1 s2 in
         let timed_out =
@@ -121,8 +155,7 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
           else if degraded then Degraded
           else Clean
         in
-        finish (Some r) status
-  end
+        finish (Some r) status)
 
 let pp_result ppf r =
   Format.fprintf ppf

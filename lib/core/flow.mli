@@ -19,10 +19,20 @@ type result = {
 val run :
   ?params:Twmc_place.Params.t ->
   ?seed:int ->
+  ?jobs:int ->
+  ?replicas:int ->
   Twmc_netlist.Netlist.t ->
   result
 (** [seed] (default the params' seed) drives every stochastic choice; runs
-    are reproducible. *)
+    are reproducible.
+
+    [replicas] (default 1) runs stage 1 as that many independent annealing
+    replicas — Sechen's seed-parallel multi-start — and keeps the placement
+    with the lowest total cost (ties to the lowest replica index).  [jobs]
+    (default 1) is the number of domains used to execute replicas and the
+    per-net route enumeration.  [jobs] is pure mechanism: for a fixed
+    [(seed, replicas)] the result is bit-identical whatever [jobs] is;
+    only [replicas] changes the answer. *)
 
 type status =
   | Clean  (** Completed with nothing fatal (exit code 0). *)
@@ -54,6 +64,8 @@ val run_resilient :
   ?strict:bool ->
   ?time_budget_s:float ->
   ?max_retries:int ->
+  ?jobs:int ->
+  ?replicas:int ->
   Twmc_netlist.Netlist.t ->
   resilient_result
 (** Guarded end-to-end flow: never raises (resource-exhaustion exceptions
@@ -62,6 +74,9 @@ val run_resilient :
     to [max_retries] (default 2) times on failure; stage 2 runs with
     checkpoint/rollback; [time_budget_s] converts both anneals into
     cooperatively-interruptible loops that return the best-so-far
-    configuration once the wall clock expires. *)
+    configuration once the wall clock expires.  [jobs]/[replicas] behave as
+    in {!run}; when [replicas > 1] an Info diagnostic (G404) records every
+    replica's final cost and the winner.  The wall-clock guard is shared:
+    every replica polls the same budget. *)
 
 val pp_result : Format.formatter -> result -> unit

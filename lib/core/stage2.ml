@@ -72,7 +72,7 @@ let required_expansions p (route : Router.result) =
     route.Router.graph.Graph.regions;
   exps
 
-let channel_and_route ?should_stop ~rng p =
+let channel_and_route ?should_stop ?pool ~rng p =
   let nl = Placement.netlist p in
   let prm = Placement.params p in
   let regions = Extract.of_placement p in
@@ -80,7 +80,8 @@ let channel_and_route ?should_stop ~rng p =
   let tasks = Pin_map.tasks graph p in
   let route =
     Router.route ~m:prm.Params.m_routes
-      ~budget_factor:prm.Params.route_effort ?should_stop ~rng ~graph ~tasks ()
+      ~budget_factor:prm.Params.route_effort ?should_stop ?pool ~rng ~graph
+      ~tasks ()
   in
   route
 
@@ -172,8 +173,8 @@ let resize_core p =
   in
   Placement.set_core p core
 
-let refine_once ~rng ?(final = false) ?should_stop p =
-  let route = channel_and_route ?should_stop ~rng p in
+let refine_once ~rng ?(final = false) ?should_stop ?pool p =
+  let route = channel_and_route ?should_stop ?pool ~rng p in
   let exps = required_expansions p route in
   Placement.set_expander p (Placement.Static exps);
   resize_core p;
@@ -192,7 +193,7 @@ let refine_once ~rng ?(final = false) ?should_stop p =
   in
   (it, route)
 
-let run ~rng ?(should_stop = fun () -> false) ?(resilient = false)
+let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
     (s1 : Stage1.result) =
   let p = s1.Stage1.placement in
   let prm = Placement.params p in
@@ -207,7 +208,7 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false)
         add (Guard.timeout_diag ~name)
     end
     else if not resilient then begin
-      let it, _route = refine_once ~rng ~final:(i = n) ~should_stop p in
+      let it, _route = refine_once ~rng ~final:(i = n) ~should_stop ?pool p in
       iterations := it :: !iterations
     end
     else begin
@@ -215,7 +216,7 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false)
          refinement throws, corrupts the cost state, or grossly regresses
          the interconnect estimate. *)
       let before = Checkpoint.capture p in
-      match refine_once ~rng ~final:(i = n) ~should_stop p with
+      match refine_once ~rng ~final:(i = n) ~should_stop ?pool p with
       | it, _route ->
           let inv = Invariant.placement p in
           List.iter add inv;
@@ -248,10 +249,10 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false)
   done;
   (* A final routing pass reflecting the refined placement. *)
   let final_route =
-    if not resilient then Some (channel_and_route ~rng p)
+    if not resilient then Some (channel_and_route ?pool ~rng p)
     else if should_stop () then None
     else
-      match channel_and_route ~should_stop ~rng p with
+      match channel_and_route ~should_stop ?pool ~rng p with
       | r ->
           List.iter add (Invariant.channel_graph r.Router.graph);
           List.iter add (Invariant.route r);

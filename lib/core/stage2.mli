@@ -59,17 +59,20 @@ val refine_once :
   rng:Twmc_sa.Rng.t ->
   ?final:bool ->
   ?should_stop:(unit -> bool) ->
+  ?pool:Twmc_util.Domain_pool.t ->
   Twmc_place.Placement.t ->
   iteration * Twmc_route.Global_router.result
 (** One channel-define / route / refine execution, mutating the placement.
     [final] selects the frozen-cost stopping criterion.  [should_stop] is
     polled every 128 annealing moves and between routed nets; when it fires
-    the refinement returns early with caches repaired. *)
+    the refinement returns early with caches repaired.  [pool] parallelizes
+    the per-net route enumeration without changing the result. *)
 
 val run :
   rng:Twmc_sa.Rng.t ->
   ?should_stop:(unit -> bool) ->
   ?resilient:bool ->
+  ?pool:Twmc_util.Domain_pool.t ->
   Twmc_place.Stage1.result ->
   result
 (** The full stage 2: [refinement_iterations] executions (from the

@@ -2,6 +2,7 @@ open Twmc_geometry
 open Twmc_netlist
 module Rng = Twmc_sa.Rng
 module Schedule = Twmc_sa.Schedule
+module Domain_pool = Twmc_util.Domain_pool
 
 type temp_record = {
   temperature : float;
@@ -168,3 +169,36 @@ let run ?(params = Params.default) ?core ?on_temp ?should_stop ~rng nl =
     trace = List.rev !trace;
     temperatures_visited = !n_temps;
     interrupted = !stopped || poll () }
+
+(* --------------------------------------------- best-of-K multi-start *)
+
+type multi_result = {
+  best : result;
+  best_index : int;
+  replica_costs : float array;
+}
+
+let run_best_of_k ?params ?core ?should_stop ?pool ~rng ~k nl =
+  if k <= 0 then invalid_arg "Stage1.run_best_of_k: k <= 0";
+  (* Child streams are derived from the parent sequentially, BEFORE any
+     replica runs: the set of streams depends only on (seed, k), never on
+     the pool size, which is what makes --jobs 1 and --jobs N bit-identical
+     at fixed K. *)
+  let rngs = Array.init k (fun _ -> Rng.split rng) in
+  let replica _i child_rng = run ?params ?core ?should_stop ~rng:child_rng nl in
+  let results =
+    match pool with
+    | Some pool -> Domain_pool.parallel_map pool ~f:replica rngs
+    | None -> Array.mapi replica rngs
+  in
+  let cost r = Placement.total_cost r.placement in
+  let replica_costs = Array.map cost results in
+  (* Strict-< selection: ties go to the lowest replica index, a total order
+     independent of evaluation order. *)
+  let best_index = ref 0 in
+  for i = 1 to k - 1 do
+    if replica_costs.(i) < replica_costs.(!best_index) then best_index := i
+  done;
+  { best = results.(!best_index);
+    best_index = !best_index;
+    replica_costs }

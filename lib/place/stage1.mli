@@ -46,3 +46,29 @@ val run :
     and centered on the origin.  [should_stop] is polled every 128 moves
     inside the inner loop (cooperative timeout): when it returns true the
     anneal exits after repairing its cost caches, flagging [interrupted]. *)
+
+type multi_result = {
+  best : result;  (** The replica with the lowest final {!Placement.total_cost}. *)
+  best_index : int;  (** Its index in [0, k); ties break to the lowest. *)
+  replica_costs : float array;  (** Final total cost of every replica. *)
+}
+
+val run_best_of_k :
+  ?params:Params.t ->
+  ?core:Twmc_geometry.Rect.t ->
+  ?should_stop:(unit -> bool) ->
+  ?pool:Twmc_util.Domain_pool.t ->
+  rng:Twmc_sa.Rng.t ->
+  k:int ->
+  Twmc_netlist.Netlist.t ->
+  multi_result
+(** Sechen's Sec 3 flow run as [k] independent replicas — identical except
+    for their random streams, which are {!Twmc_sa.Rng.split} children of
+    [rng] drawn sequentially before any replica starts.  Replicas anneal in
+    parallel on [pool] when given (sequentially otherwise), and the result
+    is bit-identical for any pool size at fixed [k]: each replica depends
+    only on its own stream, and the winner is selected by strict cost
+    comparison with a lowest-index tie-break.  [rng] is advanced by the
+    [k] splits, so downstream draws are also independent of the pool.
+    [should_stop] is shared by all replicas (each polls it cooperatively).
+    Raises [Invalid_argument] when [k <= 0]. *)

@@ -13,22 +13,35 @@ type result = {
   assign_attempts : int;
 }
 
-let route ?(m = 20) ?budget_factor ?should_stop ~rng ~graph ~tasks () =
+let route ?(m = 20) ?budget_factor ?should_stop ?pool ~rng ~graph ~tasks () =
   let poll = match should_stop with None -> fun () -> false | Some f -> f in
+  (* Phase 1 is read-only over the channel graph and independent per net, so
+     the enumeration fans out over the pool; results are merged back in net
+     (task) order, which keeps phase 2's input — and therefore the whole
+     routing — identical for any pool size. *)
+  let enumerate _i (task : Pin_map.net_task) =
+    (* Cooperative timeout between nets: once the budget is gone, the
+       remaining nets are reported unroutable rather than enumerated. *)
+    if poll () then (task.Pin_map.net, [])
+    else
+      let terminals =
+        List.map (fun t -> t.Pin_map.candidates) task.Pin_map.terminals
+      in
+      (task.Pin_map.net, Steiner.routes ?budget_factor graph ~m ~terminals)
+  in
+  let enumerated =
+    let tasks = Array.of_list tasks in
+    match pool with
+    | Some pool -> Twmc_util.Domain_pool.parallel_map pool ~f:enumerate tasks
+    | None -> Array.mapi enumerate tasks
+  in
   let with_routes, unroutable =
-    List.fold_left
-      (fun (ok, bad) (task : Pin_map.net_task) ->
-        (* Cooperative timeout between nets: once the budget is gone, the
-           remaining nets are reported unroutable rather than enumerated. *)
-        if poll () then (ok, task.Pin_map.net :: bad)
-        else
-          let terminals =
-            List.map (fun t -> t.Pin_map.candidates) task.Pin_map.terminals
-          in
-          match Steiner.routes ?budget_factor graph ~m ~terminals with
-          | [] -> (ok, task.Pin_map.net :: bad)
-          | routes -> ((task.Pin_map.net, Array.of_list routes) :: ok, bad))
-      ([], []) tasks
+    Array.fold_left
+      (fun (ok, bad) (net, routes) ->
+        match routes with
+        | [] -> (ok, net :: bad)
+        | routes -> ((net, Array.of_list routes) :: ok, bad))
+      ([], []) enumerated
   in
   let with_routes = List.rev with_routes in
   let alternatives = Array.of_list (List.map snd with_routes) in

@@ -28,6 +28,7 @@ val route :
   ?m:int ->
   ?budget_factor:int ->
   ?should_stop:(unit -> bool) ->
+  ?pool:Twmc_util.Domain_pool.t ->
   rng:Twmc_sa.Rng.t ->
   graph:Twmc_channel.Graph.t ->
   tasks:Twmc_channel.Pin_map.net_task list ->
@@ -36,7 +37,10 @@ val route :
 (** [m] defaults to 20 (Sec 4.2.1: "typically on the order of 20").
     [should_stop] is polled between nets during phase-1 enumeration; when it
     fires the remaining nets are reported unroutable (graceful
-    degradation under a wall-clock budget). *)
+    degradation under a wall-clock budget).  [pool] parallelizes the
+    phase-1 per-net enumeration (the graph is only read); alternatives are
+    merged back in net order and phase 2 is sequential, so the result is
+    identical with or without a pool. *)
 
 val node_density : result -> int array
 (** Per region: the maximum density of its incident channel-graph edges —

@@ -196,3 +196,13 @@ let k_shortest g ~k ~sources ~targets =
         List.rev_map (fun (nodes, len) -> to_path aug nodes len) !a
         |> List.sort (fun p1 p2 -> Stdlib.compare p1.length p2.length)
   end
+
+(* Batched queries over one shared (read-only) graph: each search touches
+   only its own local state (dist/prev arrays, hash tables), so queries
+   parallelize with no coordination and the result array keeps query
+   order — the merge is just the identity on indices. *)
+let k_shortest_batch ?pool g ~k queries =
+  let solve _i (sources, targets) = k_shortest g ~k ~sources ~targets in
+  match pool with
+  | Some pool -> Twmc_util.Domain_pool.parallel_map pool ~f:solve queries
+  | None -> Array.mapi solve queries

@@ -32,3 +32,14 @@ val k_shortest :
   targets:int list ->
   path list
 (** At most [k] distinct loopless paths in nondecreasing length order. *)
+
+val k_shortest_batch :
+  ?pool:Twmc_util.Domain_pool.t ->
+  Twmc_channel.Graph.t ->
+  k:int ->
+  (int list * int list) array ->
+  path list array
+(** [k_shortest_batch ?pool g ~k queries] answers every [(sources,
+    targets)] query, in query order.  The graph is only read, so queries
+    run concurrently on [pool] when given; the output is identical with or
+    without a pool. *)

@@ -1,0 +1,140 @@
+(* Spawn-once worker pool.  One mutex guards the task queue and the batch
+   counter; workers block on [work_cv] between batches.  The pool serves one
+   [parallel_map] batch at a time (the orchestrating flow is sequential
+   between its parallel regions), so a single [unfinished] counter per pool
+   is enough. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  queue : task Queue.t;
+  mutable unfinished : int;
+  mutable stop : bool;
+  mutable shut : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let finish_task t =
+  Mutex.lock t.m;
+  t.unfinished <- t.unfinished - 1;
+  if t.unfinished = 0 then Condition.broadcast t.done_cv;
+  Mutex.unlock t.m
+
+let worker_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.work_cv t.m
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stop && empty: drain complete, exit. *)
+      running := false;
+      Mutex.unlock t.m
+    end
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.m;
+      task ();
+      finish_task t
+    end
+  done
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    { jobs;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      queue = Queue.create ();
+      unfinished = 0;
+      stop = false;
+      shut = false;
+      workers = [] }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let parallel_map (type b) t ~f arr : b array =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.jobs = 1 || n = 1 then Array.mapi f arr
+  else begin
+    (* [res] holds options so no dummy of type [b] is needed (and flat float
+       arrays stay sound). *)
+    let res : b option array = Array.make n None in
+    let chunks = min t.jobs n in
+    let exns = Array.make chunks None in
+    let chunk c () =
+      let lo = c * n / chunks and hi = (((c + 1) * n) / chunks) - 1 in
+      try
+        for i = lo to hi do
+          res.(i) <- Some (f i arr.(i))
+        done
+      with e -> exns.(c) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.m;
+    if t.shut then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool.parallel_map: pool is shut down"
+    end;
+    t.unfinished <- t.unfinished + chunks;
+    for c = 0 to chunks - 1 do
+      Queue.push (chunk c) t.queue
+    done;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    (* The caller helps: run queued chunks until none are left, then wait
+       for the workers to finish theirs. *)
+    let draining = ref true in
+    while !draining do
+      Mutex.lock t.m;
+      match Queue.pop t.queue with
+      | task ->
+          Mutex.unlock t.m;
+          task ();
+          finish_task t
+      | exception Queue.Empty ->
+          while t.unfinished > 0 do
+            Condition.wait t.done_cv t.m
+          done;
+          Mutex.unlock t.m;
+          draining := false
+    done;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      exns;
+    Array.map (function Some v -> v | None -> assert false) res
+  end
+
+let run t thunks =
+  parallel_map t ~f:(fun _ th -> th ()) (Array.of_list thunks)
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.shut then Mutex.unlock t.m
+  else begin
+    t.stop <- true;
+    t.shut <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,98 @@
+(* Round-trip golden tests over the shipped example netlists:
+   parse -> Writer -> re-parse must preserve the structure, and the
+   canonical text must be a fixpoint (writing the re-parse reproduces it
+   byte for byte).  Exercises the positioned-error/CRLF-tolerant parser
+   paths on real inputs rather than synthetic corpora. *)
+
+open Twmc_netlist
+
+let check = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* `dune runtest` runs in the test directory; `dune exec test/...` runs in
+   the workspace root — resolve whichever prefix exists. *)
+let resolve name =
+  let candidates =
+    [ Filename.concat "../examples/netlists" name;
+      Filename.concat "examples/netlists" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let golden_files = List.map resolve [ "small.twn"; "medium.twn"; "i1.twn" ]
+
+let assert_structurally_equal ~what (a : Netlist.t) (b : Netlist.t) =
+  checks (what ^ ": name") a.Netlist.name b.Netlist.name;
+  check (what ^ ": track spacing") a.Netlist.track_spacing
+    b.Netlist.track_spacing;
+  check (what ^ ": cells") (Netlist.n_cells a) (Netlist.n_cells b);
+  check (what ^ ": nets") (Netlist.n_nets a) (Netlist.n_nets b);
+  check (what ^ ": pins") (Netlist.total_pins a) (Netlist.total_pins b);
+  Array.iteri
+    (fun ci (ca : Cell.t) ->
+      let cb = b.Netlist.cells.(ci) in
+      checks
+        (Printf.sprintf "%s: cell %d name" what ci)
+        ca.Cell.name cb.Cell.name;
+      check
+        (Printf.sprintf "%s: cell %s pin count" what ca.Cell.name)
+        (Array.length ca.Cell.pins)
+        (Array.length cb.Cell.pins);
+      Array.iteri
+        (fun pi (pa : Pin.t) ->
+          let pb = cb.Cell.pins.(pi) in
+          checks
+            (Printf.sprintf "%s: %s pin %d name" what ca.Cell.name pi)
+            pa.Pin.name pb.Pin.name;
+          check
+            (Printf.sprintf "%s: %s pin %d net" what ca.Cell.name pi)
+            pa.Pin.net pb.Pin.net)
+        ca.Cell.pins)
+    a.Netlist.cells;
+  Array.iteri
+    (fun ni (na : Net.t) ->
+      let nb = b.Netlist.nets.(ni) in
+      checks (Printf.sprintf "%s: net %d name" what ni) na.Net.name nb.Net.name;
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "%s: net %s pin refs" what na.Net.name)
+        (Array.to_list
+           (Array.map (fun r -> (r.Net.cell, r.Net.pin)) na.Net.pins))
+        (Array.to_list
+           (Array.map (fun r -> (r.Net.cell, r.Net.pin)) nb.Net.pins)))
+    a.Netlist.nets
+
+let roundtrip file () =
+  let nl = Parser.parse_file file in
+  let text = Writer.to_string nl in
+  let nl' = Parser.parse_string text in
+  assert_structurally_equal ~what:(Filename.basename file) nl nl';
+  (* The canonical form is a fixpoint of write-then-parse. *)
+  checks
+    (Filename.basename file ^ ": canonical fixpoint")
+    text (Writer.to_string nl')
+
+(* The PR-1 robustness paths must hold on real inputs too: a CRLF version
+   of a golden file parses to the same structure. *)
+let crlf_roundtrip file () =
+  let nl = Parser.parse_file file in
+  let text = Writer.to_string nl in
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' text)
+  in
+  assert_structurally_equal
+    ~what:(Filename.basename file ^ " (crlf)")
+    nl (Parser.parse_string crlf)
+
+let () =
+  Alcotest.run "golden"
+    [ ( "roundtrip",
+        List.map
+          (fun f ->
+            Alcotest.test_case (Filename.basename f) `Quick (roundtrip f))
+          golden_files );
+      ( "crlf",
+        List.map
+          (fun f ->
+            Alcotest.test_case (Filename.basename f) `Quick (crlf_roundtrip f))
+          golden_files ) ]

@@ -1,0 +1,160 @@
+(* Property-based differential test of the incremental cost accumulators.
+
+   The placement caches every term of the paper's Eqns 6-11 cost function
+   (C1/C2/C3/TEIL) and updates them incrementally on each move; the oracle
+   is a from-scratch [Placement.recompute_all].  Random netlists from the
+   synthetic workload generator are driven through batches of random moves
+   — hot temperatures so most are accepted, cold so most are rejected and
+   rolled back, covering both the apply and the restore paths — and after
+   every batch each cached term must agree with the recomputed truth to
+   within 1e-6 relative ([Placement.drift_report] applies exactly that
+   tolerance and returns the offenders). *)
+
+open Twmc_place
+module Rect = Twmc_geometry.Rect
+module Rng = Twmc_sa.Rng
+module Synth = Twmc_workload.Synth
+
+let checkb = Alcotest.(check bool)
+
+let random_spec rng =
+  let n_cells = Rng.int_incl rng 5 14 in
+  let n_nets = Rng.int_incl rng (n_cells * 2) (n_cells * 4) in
+  let n_pins = Rng.int_incl rng (2 * n_nets) (3 * n_nets) in
+  { Synth.default_spec with
+    Synth.name = "diff";
+    n_cells;
+    n_nets;
+    n_pins;
+    frac_custom = Rng.float rng 0.7;
+    frac_rectilinear = Rng.float rng 0.5 }
+
+let centered_core ~w ~h =
+  Rect.make ~x0:(-(w / 2)) ~y0:(-(h / 2)) ~x1:(w - (w / 2)) ~y1:(h - (h / 2))
+
+let assert_no_drift ~what p =
+  match Placement.drift_report p with
+  | [] -> ()
+  | drifts ->
+      Alcotest.failf "%s: incremental/recompute drift: %s" what
+        (String.concat "; "
+           (List.map
+              (fun (term, cached, truth) ->
+                Printf.sprintf "%s cached=%.9g true=%.9g" term cached truth)
+              drifts))
+
+(* One differential run: ~500 moves in batches of 50, alternating hot and
+   cold temperatures, with a mid-run switch to the static expander (the
+   stage-2 configuration: displacements and pin moves only). *)
+let differential_run seed =
+  let rng = Rng.create ~seed in
+  let spec = random_spec rng in
+  let nl = Synth.generate ~seed:(Rng.int_incl rng 0 9999) spec in
+  let sizing =
+    Twmc_estimator.Core_area.determine ~beta:Params.default.Params.beta
+      ~aspect:1.0 ~fill_target:0.6 nl
+  in
+  let core =
+    centered_core ~w:sizing.Twmc_estimator.Core_area.core_w
+      ~h:sizing.Twmc_estimator.Core_area.core_h
+  in
+  let est =
+    Twmc_estimator.Dynamic_area.create ~beta:Params.default.Params.beta
+      ~core_w:(Rect.width core) ~core_h:(Rect.height core) nl
+  in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:(Placement.Dynamic est) ~rng nl
+  in
+  Placement.set_p2 p 0.5;
+  let limiter =
+    Range_limiter.of_core ~rho:4.0 ~t_inf:1e4 ~core ~min_window:6
+  in
+  let dyn_ctx =
+    Moves.make_ctx ~placement:p ~limiter ~stats:(Moves.make_stats ()) ()
+  in
+  let static_ctx =
+    (* Stage-2 style context, built lazily after the expander switch. *)
+    lazy
+      (Moves.make_ctx ~allow_orient:false ~allow_variant:false
+         ~interchanges:false ~placement:p ~limiter
+         ~stats:(Moves.make_stats ()) ())
+  in
+  let batches = 10 and batch = 50 in
+  for b = 1 to batches do
+    (* Hot batches accept nearly everything; cold ones reject nearly
+       everything, exercising snapshot/restore. *)
+    let temp = if b mod 2 = 1 then 1e4 else 1e-3 in
+    let ctx =
+      if b <= 6 then dyn_ctx
+      else begin
+        if b = 7 then begin
+          let n = Twmc_netlist.Netlist.n_cells nl in
+          Placement.set_expander p
+            (Placement.Static (Array.make n (3, 3, 3, 3)))
+        end;
+        Lazy.force static_ctx
+      end
+    in
+    for _ = 1 to batch do
+      Moves.generate ctx rng ~temp
+    done;
+    assert_no_drift ~what:(Printf.sprintf "seed %d batch %d" seed b) p
+  done
+
+let test_differential_small_seeds () =
+  List.iter differential_run [ 1; 2; 3; 4; 5 ]
+
+let test_differential_more_seeds () =
+  List.iter differential_run [ 101; 202; 303 ]
+
+(* Direct term-by-term check at a finer grain: after every single accepted
+   or rejected move on one circuit, the four cached terms match the oracle
+   within 1e-6 relative. *)
+let test_per_move_terms () =
+  let rng = Rng.create ~seed:77 in
+  let nl =
+    Synth.generate ~seed:8
+      { Synth.default_spec with
+        Synth.n_cells = 6;
+        n_nets = 15;
+        n_pins = 40;
+        frac_custom = 0.5 }
+  in
+  let core = centered_core ~w:260 ~h:260 in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:Placement.No_expansion ~rng nl
+  in
+  Placement.set_p2 p 1.0;
+  let limiter = Range_limiter.of_core ~rho:4.0 ~t_inf:1e3 ~core ~min_window:6 in
+  let ctx =
+    Moves.make_ctx ~placement:p ~limiter ~stats:(Moves.make_stats ()) ()
+  in
+  let close a b =
+    Float.abs (a -. b)
+    <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+  in
+  for i = 1 to 120 do
+    let temp = if i mod 3 = 0 then 1e-3 else 1e3 in
+    Moves.generate ctx rng ~temp;
+    let c1 = Placement.c1 p
+    and c2 = Placement.c2_raw p
+    and c3 = Placement.c3 p
+    and teil = Placement.teil p in
+    Placement.recompute_all p;
+    checkb (Printf.sprintf "move %d C1" i) true (close c1 (Placement.c1 p));
+    checkb (Printf.sprintf "move %d C2" i) true (close c2 (Placement.c2_raw p));
+    checkb (Printf.sprintf "move %d C3" i) true (close c3 (Placement.c3 p));
+    checkb (Printf.sprintf "move %d TEIL" i) true (close teil (Placement.teil p))
+  done
+
+let () =
+  Alcotest.run "incremental"
+    [ ( "differential",
+        [ Alcotest.test_case "500 moves, 5 random netlists" `Quick
+            test_differential_small_seeds;
+          Alcotest.test_case "500 moves, 3 more netlists" `Slow
+            test_differential_more_seeds;
+          Alcotest.test_case "per-move term agreement" `Quick
+            test_per_move_terms ] ) ]

