@@ -147,8 +147,17 @@ let micro_tests () =
     Test.make ~name:"io: netlist parse"
       (Staged.stage (fun () -> ignore (Twmc_netlist.Parser.parse_string text)))
   in
+  let t_obs_disabled =
+    let obs = Twmc_obs.Ctx.disabled in
+    (* The disabled instrumentation path: one span + one point through a
+       null sink must stay in the nanoseconds. *)
+    Test.make ~name:"obs: disabled span+point (no-op path)"
+      (Staged.stage (fun () ->
+           Twmc_obs.Ctx.span obs ~name:"bench" (fun () ->
+               Twmc_obs.Ctx.point obs ~name:"bench" ())))
+  in
   [ t_schedule; t_expansion; t_generate; t_extract; t_steiner; t_modulation;
-    t_window; t_parse ]
+    t_window; t_parse; t_obs_disabled ]
 
 let run_micro_bechamel () =
   let open Bechamel in
@@ -274,6 +283,52 @@ let route_multicore_kernels () =
     [ 1; 2; 4 ];
   List.rev !rows
 
+(* ------------------------------------------- observability overhead *)
+
+(* The Twmc_obs contract: a disabled context costs one branch per site, an
+   enabled one must stay in low single digits.  Same stage-1 anneal, same
+   seed — only the context differs (results are bit-identical either way,
+   so the work measured is the same). *)
+let obs_overhead_kernels () =
+  let nl = Lazy.force bench_netlist in
+  let params =
+    { Twmc_place.Params.default with Twmc_place.Params.a_c = 40 }
+  in
+  let run_with obs () =
+    ignore
+      (Twmc_place.Stage1.run ~params ~obs ~rng:(Twmc_sa.Rng.create ~seed:9) nl)
+  in
+  (* Warm once, then keep the fastest of 3 — the min is the stable
+     estimator for wall-clock comparisons. *)
+  let best f =
+    f ();
+    let t = ref infinity in
+    for _ = 1 to 3 do
+      let (), dt = wall_time f in
+      if dt < !t then t := dt
+    done;
+    !t
+  in
+  let disabled = best (run_with Twmc_obs.Ctx.disabled) in
+  let enabled =
+    best (fun () ->
+        let obs =
+          Twmc_obs.Ctx.create
+            ~sink:(Twmc_obs.Sink.memory ())
+            ~metrics:(Twmc_obs.Metrics.create ())
+            ()
+        in
+        run_with obs ())
+  in
+  Format.printf "@.Observability overhead (stage-1 anneal, same seed):@.";
+  Format.printf "  %-48s %8.1f ms@." "stage1 obs=disabled"
+    (disabled *. 1000.0);
+  Format.printf "  %-48s %8.1f ms  overhead %+.1f%%@."
+    "stage1 obs=enabled (memory sink + metrics)" (enabled *. 1000.0)
+    (100.0 *. (enabled -. disabled) /. disabled);
+  [ ("obs-overhead: stage1 obs=disabled", disabled *. 1e9);
+    ("obs-overhead: stage1 obs=enabled", enabled *. 1e9) ]
+
 (* ------------------------------------------------------- JSON emission *)
 
 let json_escape s =
@@ -310,7 +365,8 @@ let run_micro ?json () =
   let bechamel = run_micro_bechamel () in
   let stage1 = stage1_multicore_kernels () in
   let route = route_multicore_kernels () in
-  let kernels = bechamel @ stage1 @ route in
+  let obs = obs_overhead_kernels () in
+  let kernels = bechamel @ stage1 @ route @ obs in
   match json with None -> () | Some path -> write_json path kernels
 
 let () =

@@ -153,6 +153,51 @@ let parallel_term =
   in
   Term.(const make $ jobs $ replicas)
 
+(* --trace/--metrics: observability outputs.  Instrumentation only reads
+   algorithm state, so results are byte-identical with or without these
+   flags; [finish] must run before the process exits (it flushes the
+   trace and writes the metrics JSON atomically). *)
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Write a structured JSONL trace (spans and points, schema v1) \
+             here.  Inspect with $(b,twmc report).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE.json"
+          ~doc:
+            "Write the metrics registry (counters, histograms, trajectory \
+             series) as one JSON document here.")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+
+let make_obs (trace_path, metrics_path) =
+  let sink =
+    match trace_path with
+    | None -> Twmc_obs.Sink.null
+    | Some p -> Twmc_obs.Sink.to_file p
+  in
+  let metrics =
+    match metrics_path with
+    | None -> Twmc_obs.Metrics.null
+    | Some _ -> Twmc_obs.Metrics.create ()
+  in
+  let obs = Twmc_obs.Ctx.create ~sink ~metrics () in
+  let finish () =
+    Twmc_obs.Sink.close sink;
+    match metrics_path with
+    | None -> ()
+    | Some p -> Twmc_util.Atomic_io.write_string p (Twmc_obs.Metrics.to_json metrics)
+  in
+  (obs, finish)
+
 let params_term =
   let a_c = Arg.(value & opt int 100 & info [ "a-c" ] ~docv:"N"
                    ~doc:"Attempted moves per cell per temperature (paper: 400).") in
@@ -167,19 +212,24 @@ let params_term =
 
 let place_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run (params, seed) (jobs, replicas) file =
+  let run (params, seed) (jobs, replicas) obs_spec file =
     let nl = read_netlist file in
     let rng = Twmc_sa.Rng.create ~seed in
+    let obs, obs_finish = make_obs obs_spec in
     let r =
-      if replicas <= 1 then Twmc_place.Stage1.run ~params ~rng nl
+      if replicas <= 1 then Twmc_place.Stage1.run ~params ~obs ~rng nl
       else
         let run_k pool =
-          Twmc_place.Stage1.run_best_of_k ~params ?pool ~rng ~k:replicas nl
+          Twmc_place.Stage1.run_best_of_k ~params ?pool ~obs ~rng ~k:replicas
+            nl
         in
         let mr =
           if jobs <= 1 then run_k None
           else
-            Twmc_util.Domain_pool.with_pool ~jobs (fun p -> run_k (Some p))
+            Twmc_util.Domain_pool.with_pool ~jobs (fun p ->
+                if Twmc_obs.Ctx.metrics_on obs then
+                  Twmc_util.Domain_pool.set_metrics p obs.Twmc_obs.Ctx.metrics;
+                run_k (Some p))
         in
         Format.printf "best-of-%d: replica %d won (costs %s)@." replicas
           mr.Twmc_place.Stage1.best_index
@@ -189,6 +239,7 @@ let place_cmd =
                    mr.Twmc_place.Stage1.replica_costs)));
         mr.Twmc_place.Stage1.best
     in
+    obs_finish ();
     Format.printf
       "stage 1: TEIL=%.0f C1=%.0f residual overlap=%.0f chip=%dx%d (%d \
        temperatures)@."
@@ -207,7 +258,7 @@ let place_cmd =
   in
   Cmd.v
     (Cmd.info "place" ~doc:"Run stage-1 placement only; print cell positions")
-    Term.(const run $ params_term $ parallel_term $ file)
+    Term.(const run $ params_term $ parallel_term $ obs_term $ file)
 
 let flow_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -228,12 +279,14 @@ let flow_cmd =
           ~doc:"Stage-1 retries with perturbed seeds after a failure.")
   in
   let run (params, seed) (jobs, replicas) strict time_budget_s max_retries
-      file =
+      obs_spec file =
     let nl = read_netlist file in
+    let obs, obs_finish = make_obs obs_spec in
     let rr =
       Twmc.Flow.run_resilient ~params ~seed ~strict ?time_budget_s
-        ~max_retries ~jobs ~replicas nl
+        ~max_retries ~jobs ~replicas ~obs nl
     in
+    obs_finish ();
     List.iter
       (fun d -> Format.eprintf "%a@." Twmc.Robust.Diagnostic.pp d)
       rr.Twmc.Flow.diagnostics;
@@ -266,15 +319,17 @@ let flow_cmd =
           driver (lint, invariant checks, checkpoint/rollback).  Exit \
           codes: 0 clean, 3 degraded, 4 invalid input, 5 budget expired.")
     Term.(const run $ params_term $ parallel_term $ strict_term $ time_budget
-          $ max_retries $ file)
+          $ max_retries $ obs_term $ file)
 
 (* -------------------------------------------------------------- route *)
 
 let route_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run (params, seed) (jobs, replicas) file =
+  let run (params, seed) (jobs, replicas) obs_spec file =
     let nl = read_netlist file in
-    let r = Twmc.Flow.run ~params ~seed ~jobs ~replicas nl in
+    let obs, obs_finish = make_obs obs_spec in
+    let r = Twmc.Flow.run ~params ~seed ~jobs ~replicas ~obs nl in
+    obs_finish ();
     match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
     | None -> Format.printf "no routing produced@."
     | Some route ->
@@ -301,7 +356,7 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route"
        ~doc:"Run the flow and report the final global routing per net")
-    Term.(const run $ params_term $ parallel_term $ file)
+    Term.(const run $ params_term $ parallel_term $ obs_term $ file)
 
 (* --------------------------------------------------------------- draw *)
 
@@ -336,6 +391,35 @@ let draw_cmd =
   Cmd.v
     (Cmd.info "draw" ~doc:"Run the flow and render the layout as SVG")
     Term.(const run $ params_term $ file $ out $ what)
+
+(* ------------------------------------------------------------- report *)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jsonl")
+  in
+  let run file =
+    match Twmc_obs.Report.load file with
+    | exception Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit exit_invalid
+    | events -> (
+        match Twmc_obs.Report.validate events with
+        | [] ->
+            Format.printf "%a@." Twmc_obs.Report.pp_summary events;
+            exit 0
+        | problems ->
+            List.iter (fun p -> Printf.eprintf "%s: %s\n" file p) problems;
+            exit exit_invalid)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Validate a --trace JSONL file (schema, balanced spans, monotonic \
+          timestamps) and summarize it: per-stage wall time, slowest spans, \
+          the stage-1 acceptance curve and the router overflow trend.  \
+          Exits 0 when valid, 4 otherwise.")
+    Term.(const run $ file)
 
 (* --------------------------------------------------------- experiment *)
 
@@ -410,4 +494,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group info
        [ gen_cmd; check_cmd; stats_cmd; place_cmd; flow_cmd; route_cmd;
-         draw_cmd; experiment_cmd ]))
+         draw_cmd; report_cmd; experiment_cmd ]))

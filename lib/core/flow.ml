@@ -6,6 +6,9 @@ module Diagnostic = Twmc_robust.Diagnostic
 module Lint = Twmc_robust.Lint
 module Invariant = Twmc_robust.Invariant
 module Guard = Twmc_robust.Guard
+module Obs = Twmc_obs.Ctx
+module Attr = Twmc_obs.Attr
+module Metrics = Twmc_obs.Metrics
 
 type result = {
   netlist : Twmc_netlist.Netlist.t;
@@ -31,29 +34,81 @@ let assemble ~t0 nl (s1 : Stage1.result) (s2 : Stage2.result) =
     elapsed_s = Sys.time () -. t0 }
 
 (* A pool is only worth its domains when asked for: [jobs = 1] keeps every
-   call on the caller's domain with zero synchronization. *)
-let with_optional_pool ~jobs f =
+   call on the caller's domain with zero synchronization.  When metrics are
+   enabled the pool reports its task counts and per-domain busy time into
+   the registry at shutdown. *)
+let with_optional_pool ~jobs ?(obs = Obs.disabled) f =
   if jobs <= 1 then f None
-  else Twmc_util.Domain_pool.with_pool ~jobs (fun p -> f (Some p))
+  else
+    Twmc_util.Domain_pool.with_pool ~jobs (fun p ->
+        if Obs.metrics_on obs then
+          Twmc_util.Domain_pool.set_metrics p obs.Obs.metrics;
+        f (Some p))
+
+(* Trajectory series, sampled sequentially from the traces the stages
+   return — never from worker domains — so the series contents depend only
+   on the result, not on scheduling. *)
+let record_series obs (r : result) =
+  if Obs.metrics_on obs then begin
+    let m = obs.Obs.metrics in
+    (* Declared up front so the keys are present in the export even when a
+       stage recorded nothing (e.g. pool.utilization at jobs = 1). *)
+    ignore (Metrics.series m "pool.utilization");
+    ignore (Metrics.series m "route.overflow");
+    let sample name (get : Stage1.temp_record -> float) trace =
+      let s = Metrics.series m name in
+      List.iter (fun rec_ -> Metrics.sample s (get rec_)) trace
+    in
+    let s1_trace = r.stage1.Stage1.trace in
+    sample "stage1.temperature" (fun t -> t.Stage1.temperature) s1_trace;
+    sample "stage1.acceptance" (fun t -> t.Stage1.acceptance) s1_trace;
+    sample "stage1.cost" (fun t -> t.Stage1.cost) s1_trace;
+    sample "stage1.c1" (fun t -> t.Stage1.c1) s1_trace;
+    sample "stage1.c2" (fun t -> t.Stage1.c2_raw) s1_trace;
+    sample "stage1.c3" (fun t -> t.Stage1.c3) s1_trace;
+    sample "stage2.acceptance" (fun t -> t.Stage1.acceptance)
+      r.stage2.Stage2.trace;
+    Metrics.set (Metrics.gauge m "flow.teil_final") r.teil_final;
+    Metrics.set (Metrics.gauge m "flow.area_final") (float_of_int r.area_final);
+    Metrics.set (Metrics.gauge m "flow.elapsed_s") r.elapsed_s
+  end
 
 (* Stage 1, possibly as a best-of-K multi-start (Sechen's independent-runs
    parallelism: replicas differ only in their split RNG streams).  The
    winner is chosen by cost with a lowest-index tie-break, so the outcome
    depends on [replicas] but never on [jobs]. *)
-let stage1_best ~params ?should_stop ?pool ~rng ~replicas nl =
-  if replicas <= 1 then (Stage1.run ~params ?should_stop ~rng nl, None)
+let stage1_best ~params ?should_stop ?pool ?(obs = Obs.disabled) ~rng ~replicas
+    nl =
+  if replicas <= 1 then (Stage1.run ~params ?should_stop ~obs ~rng nl, None)
   else
-    let mr = Stage1.run_best_of_k ~params ?should_stop ?pool ~rng ~k:replicas nl in
+    let mr =
+      Stage1.run_best_of_k ~params ?should_stop ?pool ~obs ~rng ~k:replicas nl
+    in
     (mr.Stage1.best, Some mr)
 
-let run ?(params = Params.default) ?seed ?(jobs = 1) ?(replicas = 1) nl =
+let run ?(params = Params.default) ?seed ?(jobs = 1) ?(replicas = 1)
+    ?(obs = Obs.disabled) nl =
   let seed = match seed with Some s -> s | None -> params.Params.seed in
   let rng = Twmc_sa.Rng.create ~seed in
   let t0 = Sys.time () in
-  with_optional_pool ~jobs (fun pool ->
-      let s1, _ = stage1_best ~params ?pool ~rng ~replicas nl in
-      let s2 = Stage2.run ~rng ?pool s1 in
-      assemble ~t0 nl s1 s2)
+  Obs.span obs ~name:"flow"
+    ~attrs:
+      (if Obs.tracing obs then
+         [ ("netlist", Attr.Str nl.Twmc_netlist.Netlist.name);
+           ("cells", Attr.Int (Twmc_netlist.Netlist.n_cells nl));
+           ("seed", Attr.Int seed); ("jobs", Attr.Int jobs);
+           ("replicas", Attr.Int replicas) ]
+       else [])
+    (fun () ->
+      with_optional_pool ~jobs ~obs (fun pool ->
+          let s1, _ =
+            Obs.span obs ~name:"stage1" (fun () ->
+                stage1_best ~params ?pool ~obs ~rng ~replicas nl)
+          in
+          let s2 = Stage2.run ~rng ?pool ~obs s1 in
+          let r = assemble ~t0 nl s1 s2 in
+          record_series obs r;
+          r))
 
 type status = Clean | Degraded | Invalid_input | Timed_out
 
@@ -71,19 +126,42 @@ type resilient_result = {
 }
 
 let run_resilient ?(params = Params.default) ?seed ?(strict = false)
-    ?time_budget_s ?(max_retries = 2) ?(jobs = 1) ?(replicas = 1) nl =
+    ?time_budget_s ?(max_retries = 2) ?(jobs = 1) ?(replicas = 1)
+    ?(obs = Obs.disabled) nl =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let addl l = List.iter add l in
   let retries = ref 0 in
   let finish flow status =
+    if Obs.metrics_on obs then begin
+      let m = obs.Obs.metrics in
+      Metrics.add (Metrics.counter m "flow.retries") !retries;
+      Metrics.set
+        (Metrics.gauge m "flow.diagnostics")
+        (float_of_int (List.length !diags))
+    end;
+    if Obs.tracing obs then
+      Obs.point obs ~name:"flow.status"
+        ~attrs:
+          [ ("status", Attr.Str (status_to_string status));
+            ("retries", Attr.Int !retries) ]
+        ();
     { flow; status; diagnostics = List.rev !diags; retries_used = !retries }
   in
   let lint = Lint.netlist nl in
   addl lint;
   if Diagnostic.fatal ~strict lint <> [] then finish None Invalid_input
   else
-    with_optional_pool ~jobs (fun pool ->
+    Obs.span obs ~name:"flow"
+      ~attrs:
+        (if Obs.tracing obs then
+           [ ("netlist", Attr.Str nl.Twmc_netlist.Netlist.name);
+             ("cells", Attr.Int (Twmc_netlist.Netlist.n_cells nl));
+             ("jobs", Attr.Int jobs); ("replicas", Attr.Int replicas);
+             ("resilient", Attr.Bool true) ]
+         else [])
+    @@ fun () ->
+    with_optional_pool ~jobs ~obs (fun pool ->
     let guard = Guard.create ?time_budget_s () in
     let should_stop = Guard.should_stop guard in
     let base_seed = match seed with Some s -> s | None -> params.Params.seed in
@@ -97,8 +175,13 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
       let outcome =
         Guard.stage guard ~name:"stage1"
           (fun () ->
+            Obs.span obs ~name:"stage1"
+              ~attrs:
+                (if Obs.tracing obs then [ ("attempt", Attr.Int attempt) ]
+                 else [])
+            @@ fun () ->
             let s1, multi =
-              stage1_best ~params ~should_stop ?pool ~rng ~replicas nl
+              stage1_best ~params ~should_stop ?pool ~obs ~rng ~replicas nl
             in
             (match multi with
             | Some mr ->
@@ -138,9 +221,10 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
     match stage1_attempt 0 with
     | None -> finish None Degraded
     | Some (rng, s1) ->
-        let s2 = Stage2.run ~rng ~should_stop ~resilient:true ?pool s1 in
+        let s2 = Stage2.run ~rng ~should_stop ~resilient:true ?pool ~obs s1 in
         addl s2.Stage2.diagnostics;
         let r = assemble ~t0 nl s1 s2 in
+        record_series obs r;
         let timed_out =
           Guard.expired guard || s1.Stage1.interrupted
           || s2.Stage2.interrupted

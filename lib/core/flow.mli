@@ -21,6 +21,7 @@ val run :
   ?seed:int ->
   ?jobs:int ->
   ?replicas:int ->
+  ?obs:Twmc_obs.Ctx.t ->
   Twmc_netlist.Netlist.t ->
   result
 (** [seed] (default the params' seed) drives every stochastic choice; runs
@@ -32,7 +33,16 @@ val run :
     (default 1) is the number of domains used to execute replicas and the
     per-net route enumeration.  [jobs] is pure mechanism: for a fixed
     [(seed, replicas)] the result is bit-identical whatever [jobs] is;
-    only [replicas] changes the answer. *)
+    only [replicas] changes the answer.
+
+    [obs] (default {!Twmc_obs.Ctx.disabled}, zero overhead) threads tracing
+    and metrics through every stage: a ["flow"] span containing ["stage1"]
+    / ["stage2"] / routing child spans and per-temperature points, plus
+    counters, histograms and the trajectory series
+    ([stage1.acceptance], [stage1.c1]/[c2]/[c3], [stage2.acceptance],
+    [route.overflow], [pool.utilization], ...).  Instrumentation only reads
+    algorithm state — for a fixed [(seed, replicas)] the result is
+    bit-identical with observability on or off, at any [jobs]. *)
 
 type status =
   | Clean  (** Completed with nothing fatal (exit code 0). *)
@@ -66,6 +76,7 @@ val run_resilient :
   ?max_retries:int ->
   ?jobs:int ->
   ?replicas:int ->
+  ?obs:Twmc_obs.Ctx.t ->
   Twmc_netlist.Netlist.t ->
   resilient_result
 (** Guarded end-to-end flow: never raises (resource-exhaustion exceptions
@@ -77,6 +88,9 @@ val run_resilient :
     configuration once the wall clock expires.  [jobs]/[replicas] behave as
     in {!run}; when [replicas > 1] an Info diagnostic (G404) records every
     replica's final cost and the winner.  The wall-clock guard is shared:
-    every replica polls the same budget. *)
+    every replica polls the same budget.
+
+    [obs] behaves as in {!run}, with additionally a [flow.retries] counter,
+    a per-attempt ["stage1"] span and a final ["flow.status"] point. *)
 
 val pp_result : Format.formatter -> result -> unit

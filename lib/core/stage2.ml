@@ -15,6 +15,9 @@ module Diagnostic = Twmc_robust.Diagnostic
 module Checkpoint = Twmc_robust.Checkpoint
 module Invariant = Twmc_robust.Invariant
 module Guard = Twmc_robust.Guard
+module Obs = Twmc_obs.Ctx
+module Attr = Twmc_obs.Attr
+module Metrics = Twmc_obs.Metrics
 
 type iteration = {
   regions : int;
@@ -38,6 +41,7 @@ type result = {
   interrupted : bool;
   rollbacks : int;
   diagnostics : Diagnostic.t list;
+  trace : Stage1.temp_record list;
 }
 
 let required_expansions p (route : Router.result) =
@@ -72,7 +76,7 @@ let required_expansions p (route : Router.result) =
     route.Router.graph.Graph.regions;
   exps
 
-let channel_and_route ?should_stop ?pool ~rng p =
+let channel_and_route ?should_stop ?pool ?(obs = Obs.disabled) ~rng p =
   let nl = Placement.netlist p in
   let prm = Placement.params p in
   let regions = Extract.of_placement p in
@@ -80,8 +84,8 @@ let channel_and_route ?should_stop ?pool ~rng p =
   let tasks = Pin_map.tasks graph p in
   let route =
     Router.route ~m:prm.Params.m_routes
-      ~budget_factor:prm.Params.route_effort ?should_stop ?pool ~rng ~graph
-      ~tasks ()
+      ~budget_factor:prm.Params.route_effort ?should_stop ?pool ~obs ~rng
+      ~graph ~tasks ()
   in
   route
 
@@ -96,7 +100,8 @@ let avg_effective_cell_area p =
   done;
   float_of_int !total /. float_of_int (max 1 n)
 
-let anneal ?(should_stop = fun () -> false) ~rng ~final p =
+let anneal ?(should_stop = fun () -> false) ?(obs = Obs.disabled) ?iteration
+    ~rng ~final p =
   let prm = Placement.params p in
   let nl = Placement.netlist p in
   let s_t = Schedule.s_t ~avg_cell_area:(avg_effective_cell_area p) in
@@ -116,6 +121,9 @@ let anneal ?(should_stop = fun () -> false) ~rng ~final p =
   let t_floor = 1e-6 *. t_inf in
   let frozen = ref 0 and last_cost = ref nan in
   let stopped = ref false in
+  (* Per-temperature trajectory, same record type as stage 1's so tooling
+     can plot both stages' acceptance curves uniformly. *)
+  let trace = ref [] in
   let inner temp =
     let i = ref 0 in
     while !i < a && not !stopped do
@@ -125,9 +133,40 @@ let anneal ?(should_stop = fun () -> false) ~rng ~final p =
     done
   in
   let rec loop temp =
+    let accepted_before =
+      stats.Moves.displacements + stats.Moves.interchanges
+      + stats.Moves.orient_changes + stats.Moves.aspect_rescues
+    in
     inner temp;
     Placement.recompute_all p;
+    let accepted_after =
+      stats.Moves.displacements + stats.Moves.interchanges
+      + stats.Moves.orient_changes + stats.Moves.aspect_rescues
+    in
     let c = Placement.total_cost p in
+    let rec_ =
+      { Stage1.temperature = temp;
+        cost = c;
+        c1 = Placement.c1 p;
+        c2_raw = Placement.c2_raw p;
+        c3 = Placement.c3 p;
+        acceptance =
+          float_of_int (accepted_after - accepted_before) /. float_of_int a;
+        window = Range_limiter.window limiter ~temp }
+    in
+    trace := rec_ :: !trace;
+    if Obs.tracing obs then
+      Obs.point obs ~name:"stage2.temp"
+        ~attrs:
+          ((match iteration with
+           | Some i -> [ ("iteration", Attr.Int i) ]
+           | None -> [])
+          @ [ ("t", Attr.Float temp); ("cost", Attr.Float c);
+              ("c1", Attr.Float rec_.Stage1.c1);
+              ("c2", Attr.Float rec_.Stage1.c2_raw);
+              ("c3", Attr.Float rec_.Stage1.c3);
+              ("acceptance", Attr.Float rec_.Stage1.acceptance) ])
+        ();
     if c = !last_cost then incr frozen else frozen := 0;
     last_cost := c;
     let stop =
@@ -149,7 +188,15 @@ let anneal ?(should_stop = fun () -> false) ~rng ~final p =
          ~allow_variant:false ~interchanges:false ~should_stop ())
   in
   loop t_start;
-  !stopped
+  if Obs.metrics_on obs then begin
+    let m = obs.Obs.metrics in
+    Metrics.add (Metrics.counter m "stage2.moves.attempts") stats.Moves.attempts;
+    Metrics.add
+      (Metrics.counter m "stage2.moves.displacements")
+      stats.Moves.displacements;
+    Metrics.add (Metrics.counter m "stage2.moves.pin_moves") stats.Moves.pin_moves
+  end;
+  (!stopped, List.rev !trace)
 
 (* Resize the core so the statically-expanded cells fit at the configured
    fill fraction — the paper's refinement "provides additional space as
@@ -173,34 +220,71 @@ let resize_core p =
   in
   Placement.set_core p core
 
-let refine_once ~rng ?(final = false) ?should_stop ?pool p =
-  let route = channel_and_route ?should_stop ?pool ~rng p in
-  let exps = required_expansions p route in
-  Placement.set_expander p (Placement.Static exps);
-  resize_core p;
-  let _interrupted = anneal ?should_stop ~rng ~final p in
-  let it =
-    { regions = Graph.n_nodes route.Router.graph;
-      graph_edges = Graph.n_edges route.Router.graph;
-      routed_nets = List.length route.Router.routed;
-      unroutable_nets = List.length route.Router.unroutable;
-      route_length = route.Router.total_length;
-      route_overflow = route.Router.overflow;
-      teil_after = Placement.teil p;
-      chip_after = Placement.chip_bbox p;
-      cost_after = Placement.total_cost p;
-      overlap_after = Placement.c2_raw p }
-  in
-  (it, route)
+let refine_once ~rng ?(final = false) ?should_stop ?pool ?(obs = Obs.disabled)
+    ?iteration p =
+  Obs.span obs ~name:"stage2.refine"
+    ~attrs:
+      (if Obs.tracing obs then
+         (match iteration with
+         | Some i -> [ ("iteration", Attr.Int i) ]
+         | None -> [])
+         @ [ ("final", Attr.Bool final) ]
+       else [])
+    (fun () ->
+      let route = channel_and_route ?should_stop ?pool ~obs ~rng p in
+      let exps = required_expansions p route in
+      Placement.set_expander p (Placement.Static exps);
+      resize_core p;
+      let _interrupted, trace = anneal ?should_stop ~obs ?iteration ~rng ~final p in
+      let it =
+        { regions = Graph.n_nodes route.Router.graph;
+          graph_edges = Graph.n_edges route.Router.graph;
+          routed_nets = List.length route.Router.routed;
+          unroutable_nets = List.length route.Router.unroutable;
+          route_length = route.Router.total_length;
+          route_overflow = route.Router.overflow;
+          teil_after = Placement.teil p;
+          chip_after = Placement.chip_bbox p;
+          cost_after = Placement.total_cost p;
+          overlap_after = Placement.c2_raw p }
+      in
+      (it, route, trace))
 
 let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
-    (s1 : Stage1.result) =
+    ?(obs = Obs.disabled) (s1 : Stage1.result) =
   let p = s1.Stage1.placement in
   let prm = Placement.params p in
   let n = max 1 prm.Params.refinement_iterations in
   let iterations = ref [] in
+  let traces = ref [] in
   let diags = ref [] and rollbacks = ref 0 in
   let add d = diags := d :: !diags in
+  (* Telemetry for a completed refinement: emitted on the caller's domain
+     from the returned iteration record, so it is identical at any --jobs. *)
+  let observe_iteration i (it : iteration) =
+    if Obs.tracing obs then
+      Obs.point obs ~name:"route.iteration"
+        ~attrs:
+          [ ("iteration", Attr.Int i); ("regions", Attr.Int it.regions);
+            ("channels", Attr.Int it.graph_edges);
+            ("routed", Attr.Int it.routed_nets);
+            ("unroutable", Attr.Int it.unroutable_nets);
+            ("length", Attr.Int it.route_length);
+            ("overflow", Attr.Int it.route_overflow);
+            ("teil", Attr.Float it.teil_after) ]
+        ();
+    if Obs.metrics_on obs then begin
+      let m = obs.Obs.metrics in
+      Metrics.add (Metrics.counter m "stage2.refinements") 1;
+      Metrics.sample
+        (Metrics.series m "route.overflow")
+        (float_of_int it.route_overflow);
+      Metrics.sample (Metrics.series m "stage2.teil") it.teil_after
+    end
+  in
+  Obs.span obs ~name:"stage2"
+    ~attrs:(if Obs.tracing obs then [ ("iterations", Attr.Int n) ] else [])
+  @@ fun () ->
   for i = 1 to n do
     let name = Printf.sprintf "stage2 refinement %d" i in
     if should_stop () then begin
@@ -208,16 +292,22 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
         add (Guard.timeout_diag ~name)
     end
     else if not resilient then begin
-      let it, _route = refine_once ~rng ~final:(i = n) ~should_stop ?pool p in
-      iterations := it :: !iterations
+      let it, _route, trace =
+        refine_once ~rng ~final:(i = n) ~should_stop ?pool ~obs ~iteration:i p
+      in
+      iterations := it :: !iterations;
+      traces := trace :: !traces;
+      observe_iteration i it
     end
     else begin
       (* Guarded iteration: snapshot first, then roll back if the
          refinement throws, corrupts the cost state, or grossly regresses
          the interconnect estimate. *)
       let before = Checkpoint.capture p in
-      match refine_once ~rng ~final:(i = n) ~should_stop ?pool p with
-      | it, _route ->
+      match
+        refine_once ~rng ~final:(i = n) ~should_stop ?pool ~obs ~iteration:i p
+      with
+      | it, _route, trace ->
           let inv = Invariant.placement p in
           List.iter add inv;
           let teil_after = Placement.teil p in
@@ -234,7 +324,11 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
                       (Checkpoint.teil before) teil_after
                   else "rolled back: placement invariants violated"))
           end
-          else iterations := it :: !iterations
+          else begin
+            iterations := it :: !iterations;
+            traces := trace :: !traces;
+            observe_iteration i it
+          end
       | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
           raise e
       | exception e ->
@@ -247,12 +341,21 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
                   (Printexc.to_string e)))
     end
   done;
+  if Obs.metrics_on obs && !rollbacks > 0 then
+    Metrics.add
+      (Metrics.counter obs.Obs.metrics "stage2.rollbacks")
+      !rollbacks;
   (* A final routing pass reflecting the refined placement. *)
+  let route_final () =
+    Obs.span obs ~name:"stage2.final_route" (fun () ->
+        channel_and_route ?should_stop:(if resilient then Some should_stop else None)
+          ?pool ~obs ~rng p)
+  in
   let final_route =
-    if not resilient then Some (channel_and_route ?pool ~rng p)
+    if not resilient then Some (route_final ())
     else if should_stop () then None
     else
-      match channel_and_route ~should_stop ?pool ~rng p with
+      match route_final () with
       | r ->
           List.iter add (Invariant.channel_graph r.Router.graph);
           List.iter add (Invariant.route r);
@@ -274,4 +377,5 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
     chip = Placement.chip_bbox p;
     interrupted = should_stop ();
     rollbacks = !rollbacks;
-    diagnostics = List.rev !diags }
+    diagnostics = List.rev !diags;
+    trace = List.concat (List.rev !traces) }

@@ -45,6 +45,11 @@ type result = {
   rollbacks : int;  (** Refinements undone in resilient mode. *)
   diagnostics : Twmc_robust.Diagnostic.t list;
       (** Invariant findings (I3xx) and guard events (G4xx), in order. *)
+  trace : Twmc_place.Stage1.temp_record list;
+      (** Per-temperature trajectory of the refinement anneals, all
+          iterations concatenated in order (rolled-back ones excluded) —
+          the same record type as stage 1's trace, so acceptance curves of
+          both stages plot uniformly. *)
 }
 
 val required_expansions :
@@ -60,19 +65,27 @@ val refine_once :
   ?final:bool ->
   ?should_stop:(unit -> bool) ->
   ?pool:Twmc_util.Domain_pool.t ->
+  ?obs:Twmc_obs.Ctx.t ->
+  ?iteration:int ->
   Twmc_place.Placement.t ->
-  iteration * Twmc_route.Global_router.result
+  iteration * Twmc_route.Global_router.result * Twmc_place.Stage1.temp_record list
 (** One channel-define / route / refine execution, mutating the placement.
     [final] selects the frozen-cost stopping criterion.  [should_stop] is
     polled every 128 annealing moves and between routed nets; when it fires
     the refinement returns early with caches repaired.  [pool] parallelizes
-    the per-net route enumeration without changing the result. *)
+    the per-net route enumeration without changing the result.  The third
+    component is the refinement anneal's per-temperature trace.
+
+    [obs] (default disabled, zero overhead) wraps the execution in a
+    ["stage2.refine"] span and emits per-temperature ["stage2.temp"] points
+    (tagged with [iteration] when given); it never draws from [rng]. *)
 
 val run :
   rng:Twmc_sa.Rng.t ->
   ?should_stop:(unit -> bool) ->
   ?resilient:bool ->
   ?pool:Twmc_util.Domain_pool.t ->
+  ?obs:Twmc_obs.Ctx.t ->
   Twmc_place.Stage1.result ->
   result
 (** The full stage 2: [refinement_iterations] executions (from the
@@ -84,4 +97,10 @@ val run :
     or more than doubles the TEIL, the placement is rolled back to the
     checkpoint and the event recorded as a [G4xx]/[I3xx] diagnostic instead
     of propagating.  A failing or budget-cut final route degrades to
-    [final_route = None] rather than raising. *)
+    [final_route = None] rather than raising.
+
+    [obs] wraps the stage in a ["stage2"] span (one ["stage2.refine"] child
+    per execution plus a ["stage2.final_route"] child), emits one
+    ["route.iteration"] point per completed refinement and samples the
+    ["route.overflow"] / ["stage2.teil"] series — all from returned data on
+    the caller's domain, so results are byte-identical with it on or off. *)

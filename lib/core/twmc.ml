@@ -13,6 +13,7 @@
     - {!Route} — global routing (Sec 4.2)
     - {!Robust} — diagnostics, lint, invariants, guards, checkpoints
     - {!Util} — atomic file output
+    - {!Obs} — structured tracing and metrics (spans, counters, series)
     - {!Stage2} — placement refinement (Sec 4.3)
     - {!Flow} — the complete two-stage flow *)
 
@@ -25,5 +26,6 @@ module Channel = Twmc_channel
 module Route = Twmc_route
 module Robust = Twmc_robust
 module Util = Twmc_util
+module Obs = Twmc_obs
 module Stage2 = Stage2
 module Flow = Flow

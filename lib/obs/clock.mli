@@ -1,0 +1,13 @@
+(** Monotonic process clock for telemetry timestamps.
+
+    Wall-clock time relative to a per-process epoch, clamped so that
+    successive reads never decrease — even across domains and even if the
+    system clock steps backwards.  Every trace event carries a [now_ns]
+    timestamp, so the JSONL schema can promise monotonicity. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the process epoch; non-decreasing across all
+    domains. *)
+
+val s_of_ns : int -> float
+(** Convenience: nanoseconds to seconds. *)

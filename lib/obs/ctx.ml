@@ -1,0 +1,13 @@
+type t = { tracer : Tracer.t; metrics : Metrics.t }
+
+let disabled = { tracer = Tracer.null; metrics = Metrics.null }
+
+let create ?(sink = Sink.null) ?(metrics = Metrics.null) () =
+  { tracer = Tracer.create sink; metrics }
+
+let tracing t = Tracer.enabled t.tracer
+let metrics_on t = Metrics.enabled t.metrics
+(* Fully applied (not partial applications): a partial application would
+   allocate a closure per call even on the disabled path. *)
+let point t ~name ?attrs () = Tracer.point t.tracer ~name ?attrs ()
+let span t ~name ?attrs f = Tracer.span t.tracer ~name ?attrs f

@@ -1,0 +1,31 @@
+(** The observability context threaded through the flow.
+
+    One value bundles the span tracer and the metrics registry; every
+    instrumented entry point takes [?obs:Ctx.t] defaulting to {!disabled}.
+    The contract, relied on by the determinism test suite:
+
+    - {!disabled} adds one branch per instrumentation site and allocates
+      nothing (producers guard attr construction on {!tracing} /
+      {!metrics_on});
+    - enabled contexts only {e read} algorithm state — never the RNG, never
+      a cost accumulator — so results are bit-identical with observability
+      on or off, at any [--jobs]. *)
+
+type t = { tracer : Tracer.t; metrics : Metrics.t }
+
+val disabled : t
+(** Null tracer and null registry. *)
+
+val create : ?sink:Sink.t -> ?metrics:Metrics.t -> unit -> t
+(** Missing pieces default to their null implementations. *)
+
+val tracing : t -> bool
+(** The tracer has a live sink. *)
+
+val metrics_on : t -> bool
+
+val point : t -> name:string -> ?attrs:Attr.t -> unit -> unit
+(** Shorthand for [Tracer.point t.tracer]. *)
+
+val span : t -> name:string -> ?attrs:Attr.t -> (unit -> 'a) -> 'a
+(** Shorthand for [Tracer.span t.tracer]. *)

@@ -1,0 +1,39 @@
+(** Reading side of the trace schema: load a JSONL trace file, validate it,
+    and render a human-readable run summary ([twmc report]). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+type event = {
+  v : int;  (** Schema version stamped on the line; 0 when absent. *)
+  ev : string;  (** "meta", "span_begin", "span_end" or "point". *)
+  id : int;  (** 0 when absent. *)
+  parent : int;
+  name : string;
+  t_ns : int;
+  attrs : (string * json) list;
+}
+
+val parse_json : string -> json
+(** Minimal JSON parser (objects, arrays, strings, numbers, booleans,
+    null); raises [Failure] on malformed input. *)
+
+val load : string -> event list
+(** Parses a JSONL trace file; raises [Failure "path:line: ..."] on the
+    first malformed line. *)
+
+val validate : event list -> string list
+(** Schema validation: a leading meta line with a supported version,
+    non-decreasing timestamps, every [span_end] matching an open
+    [span_begin] of the same id, no span left open, and parents that are
+    open when their children begin.  Returns the problems found ([[]] means
+    valid). *)
+
+val pp_summary : Format.formatter -> event list -> unit
+(** Per-stage wall time, top-5 slowest spans, the stage-1 acceptance curve
+    (winning replica when identifiable) and the router overflow trend. *)

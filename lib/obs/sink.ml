@@ -1,0 +1,109 @@
+let schema_version = 1
+
+type event =
+  | Span_begin of {
+      id : int;
+      parent : int;
+      name : string;
+      t_ns : int;
+      attrs : Attr.t;
+    }
+  | Span_end of { id : int; name : string; t_ns : int; attrs : Attr.t }
+  | Point of { name : string; t_ns : int; attrs : Attr.t }
+
+type chan = { oc : out_channel; owned : bool; mutable closed : bool }
+
+type target =
+  | Null
+  | Memory of event list ref
+  | Channel of chan
+
+type t = { target : target; mutex : Mutex.t }
+
+let null = { target = Null; mutex = Mutex.create () }
+let enabled t = t.target <> Null
+let memory () = { target = Memory (ref []); mutex = Mutex.create () }
+
+let memory_events t =
+  match t.target with
+  | Memory r ->
+      Mutex.lock t.mutex;
+      let es = List.rev !r in
+      Mutex.unlock t.mutex;
+      es
+  | _ -> []
+
+let jsonl_of_event ev =
+  let b = Buffer.create 128 in
+  let common name t_ns attrs =
+    Buffer.add_string b (Printf.sprintf ",\"name\":\"%s\",\"t_ns\":%d"
+                           (Attr.json_escape name) t_ns);
+    if attrs <> [] then begin
+      Buffer.add_string b ",\"attrs\":";
+      Buffer.add_string b (Attr.json_of attrs)
+    end
+  in
+  Buffer.add_string b (Printf.sprintf "{\"v\":%d," schema_version);
+  (match ev with
+  | Span_begin { id; parent; name; t_ns; attrs } ->
+      Buffer.add_string b (Printf.sprintf "\"ev\":\"span_begin\",\"id\":%d" id);
+      if parent <> 0 then Buffer.add_string b (Printf.sprintf ",\"parent\":%d" parent);
+      common name t_ns attrs
+  | Span_end { id; name; t_ns; attrs } ->
+      Buffer.add_string b (Printf.sprintf "\"ev\":\"span_end\",\"id\":%d" id);
+      common name t_ns attrs
+  | Point { name; t_ns; attrs } ->
+      Buffer.add_string b "\"ev\":\"point\"";
+      common name t_ns attrs);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let meta_line () =
+  Printf.sprintf
+    "{\"v\":%d,\"ev\":\"meta\",\"name\":\"twmc-trace\",\"t_ns\":%d}"
+    schema_version (Clock.now_ns ())
+
+let of_channel oc =
+  let t =
+    { target = Channel { oc; owned = false; closed = false };
+      mutex = Mutex.create () }
+  in
+  output_string oc (meta_line ());
+  output_char oc '\n';
+  t
+
+let to_file path =
+  let oc = open_out path in
+  let t =
+    { target = Channel { oc; owned = true; closed = false };
+      mutex = Mutex.create () }
+  in
+  output_string oc (meta_line ());
+  output_char oc '\n';
+  t
+
+let emit t ev =
+  match t.target with
+  | Null -> ()
+  | Memory r ->
+      Mutex.lock t.mutex;
+      r := ev :: !r;
+      Mutex.unlock t.mutex
+  | Channel c ->
+      Mutex.lock t.mutex;
+      if not c.closed then begin
+        output_string c.oc (jsonl_of_event ev);
+        output_char c.oc '\n'
+      end;
+      Mutex.unlock t.mutex
+
+let close t =
+  match t.target with
+  | Null | Memory _ -> ()
+  | Channel c ->
+      Mutex.lock t.mutex;
+      if not c.closed then begin
+        c.closed <- true;
+        if c.owned then close_out c.oc else flush c.oc
+      end;
+      Mutex.unlock t.mutex

@@ -1,0 +1,50 @@
+(** Trace-event sinks.
+
+    Events flow through a sink; the [Null] sink is the disabled path and
+    every producer is expected to test {!enabled} before building an event
+    (or its attrs), so that a disabled trace costs one branch and allocates
+    nothing.  Enabled sinks serialize events as JSONL
+    (schema {!schema_version}); writes are mutex-protected so worker
+    domains can emit concurrently. *)
+
+val schema_version : int
+(** Version stamped into every emitted line ([{"v":1,...}]); bumped on any
+    incompatible change to the event shapes below. *)
+
+type event =
+  | Span_begin of {
+      id : int;  (** Process-unique, > 0. *)
+      parent : int;  (** Enclosing span id on this domain, 0 for none. *)
+      name : string;
+      t_ns : int;
+      attrs : Attr.t;
+    }
+  | Span_end of { id : int; name : string; t_ns : int; attrs : Attr.t }
+  | Point of { name : string; t_ns : int; attrs : Attr.t }
+
+type t
+
+val null : t
+(** The disabled sink: {!emit} is a no-op, {!enabled} is [false]. *)
+
+val enabled : t -> bool
+
+val memory : unit -> t
+(** Collects events in memory; retrieve with {!memory_events}. *)
+
+val memory_events : t -> event list
+(** Events emitted so far, oldest first.  [[]] for non-memory sinks. *)
+
+val of_channel : out_channel -> t
+(** JSONL onto an existing channel (one meta line is written first).  The
+    caller owns the channel. *)
+
+val to_file : string -> t
+(** Opens [path] for writing and emits JSONL; call {!close} when done. *)
+
+val emit : t -> event -> unit
+val close : t -> unit
+(** Flushes, and closes the underlying channel for {!to_file} sinks. *)
+
+val jsonl_of_event : event -> string
+(** One JSON line (no trailing newline) for an event. *)

@@ -1,0 +1,30 @@
+(** Span-based tracer over a {!Sink}.
+
+    Spans nest per domain (the parent of a new span is the innermost open
+    span started {e on the same domain} via {!span}); points are instant
+    events.  All emission is conditional on the sink being enabled, and the
+    overhead contract is:
+
+    - disabled: {!enabled} is [false]; producers guard attr construction
+      with it, so a disabled trace is one branch, zero allocation;
+    - enabled: emission only reads program state — it never draws from an
+      RNG or mutates anything the algorithms observe, so traced and
+      untraced runs produce bit-identical results. *)
+
+type t
+
+val null : t
+(** The disabled tracer (over {!Sink.null}). *)
+
+val create : Sink.t -> t
+val enabled : t -> bool
+val sink : t -> Sink.t
+
+val point : t -> name:string -> ?attrs:Attr.t -> unit -> unit
+(** Instant event.  No-op when disabled — but callers that build non-empty
+    [attrs] should still guard on {!enabled} to avoid the list allocation. *)
+
+val span : t -> name:string -> ?attrs:Attr.t -> (unit -> 'a) -> 'a
+(** [span t ~name f] emits [span_begin], runs [f], emits [span_end]; when
+    [f] raises, the end event carries [error = true] and the exception is
+    re-raised.  When disabled this is exactly [f ()]. *)

@@ -69,7 +69,29 @@ let avg_effective_cell_area p =
   done;
   float_of_int !total /. float_of_int (max 1 n)
 
-let run ?(params = Params.default) ?core ?on_temp ?should_stop ~rng nl =
+module Obs = Twmc_obs.Ctx
+module Attr = Twmc_obs.Attr
+module Metrics = Twmc_obs.Metrics
+
+(* Aggregate move-class accept counters into the registry.  Counter adds
+   commute, so the totals are deterministic even when best-of-K replicas
+   record concurrently. *)
+let record_move_stats obs (s : Moves.stats) =
+  if Obs.metrics_on obs then begin
+    let m = obs.Obs.metrics in
+    let add name v = Metrics.add (Metrics.counter m name) v in
+    add "stage1.moves.attempts" s.Moves.attempts;
+    add "stage1.moves.displacements" s.Moves.displacements;
+    add "stage1.moves.aspect_rescues" s.Moves.aspect_rescues;
+    add "stage1.moves.orient_changes" s.Moves.orient_changes;
+    add "stage1.moves.interchanges" s.Moves.interchanges;
+    add "stage1.moves.interchange_rescues" s.Moves.interchange_rescues;
+    add "stage1.moves.pin_moves" s.Moves.pin_moves;
+    add "stage1.moves.variant_changes" s.Moves.variant_changes
+  end
+
+let run ?(params = Params.default) ?core ?on_temp ?should_stop
+    ?(obs = Obs.disabled) ?replica ~rng nl =
   let core =
     match core with
     | Some c -> c
@@ -140,6 +162,20 @@ let run ?(params = Params.default) ?core ?on_temp ?should_stop ~rng nl =
     in
     trace := rec_ :: !trace;
     (match on_temp with Some f -> f rec_ | None -> ());
+    if Obs.tracing obs then begin
+      let wx, wy = rec_.window in
+      Obs.point obs ~name:"stage1.temp"
+        ~attrs:
+          ((match replica with
+           | Some r -> [ ("replica", Attr.Int r) ]
+           | None -> [])
+          @ [ ("t", Attr.Float temp); ("cost", Attr.Float rec_.cost);
+              ("c1", Attr.Float rec_.c1); ("c2", Attr.Float rec_.c2_raw);
+              ("c3", Attr.Float rec_.c3);
+              ("acceptance", Attr.Float rec_.acceptance);
+              ("wx", Attr.Float wx); ("wy", Attr.Float wy) ])
+        ()
+    end;
     if !stopped then ()
     (* Stop after an inner loop at the minimum window span (Sec 3.3). *)
     else if Range_limiter.at_min_span limiter ~temp then quench temp 0
@@ -155,8 +191,18 @@ let run ?(params = Params.default) ?core ?on_temp ?should_stop ~rng nl =
       + Quench.run ~rng ~placement:p ~stats ~limiter ~moves_per_loop:a
           ~t_start:temp ?should_stop ()
   in
-  loop t_inf;
+  Obs.span obs ~name:"stage1.anneal"
+    ~attrs:
+      (if Obs.tracing obs then
+         (match replica with
+         | Some r -> [ ("replica", Attr.Int r) ]
+         | None -> [])
+         @ [ ("cells", Attr.Int (Netlist.n_cells nl));
+             ("t_inf", Attr.Float t_inf) ]
+       else [])
+    (fun () -> loop t_inf);
   Placement.recompute_all p;
+  record_move_stats obs stats;
   { placement = p;
     t_inf;
     s_t;
@@ -178,18 +224,24 @@ type multi_result = {
   replica_costs : float array;
 }
 
-let run_best_of_k ?params ?core ?should_stop ?pool ~rng ~k nl =
+let run_best_of_k ?params ?core ?should_stop ?pool ?(obs = Obs.disabled) ~rng
+    ~k nl =
   if k <= 0 then invalid_arg "Stage1.run_best_of_k: k <= 0";
   (* Child streams are derived from the parent sequentially, BEFORE any
      replica runs: the set of streams depends only on (seed, k), never on
      the pool size, which is what makes --jobs 1 and --jobs N bit-identical
      at fixed K. *)
   let rngs = Array.init k (fun _ -> Rng.split rng) in
-  let replica _i child_rng = run ?params ?core ?should_stop ~rng:child_rng nl in
+  let replica i child_rng =
+    run ?params ?core ?should_stop ~obs ~replica:i ~rng:child_rng nl
+  in
   let results =
-    match pool with
-    | Some pool -> Domain_pool.parallel_map pool ~f:replica rngs
-    | None -> Array.mapi replica rngs
+    Obs.span obs ~name:"stage1.best_of_k"
+      ~attrs:(if Obs.tracing obs then [ ("k", Attr.Int k) ] else [])
+      (fun () ->
+        match pool with
+        | Some pool -> Domain_pool.parallel_map pool ~f:replica rngs
+        | None -> Array.mapi replica rngs)
   in
   let cost r = Placement.total_cost r.placement in
   let replica_costs = Array.map cost results in
@@ -199,6 +251,18 @@ let run_best_of_k ?params ?core ?should_stop ?pool ~rng ~k nl =
   for i = 1 to k - 1 do
     if replica_costs.(i) < replica_costs.(!best_index) then best_index := i
   done;
+  if Obs.tracing obs then
+    Obs.point obs ~name:"stage1.winner"
+      ~attrs:
+        [ ("index", Attr.Int !best_index);
+          ("cost", Attr.Float replica_costs.(!best_index)) ]
+      ();
+  if Obs.metrics_on obs then begin
+    (* Sampled in index order after the join — deterministic at any pool
+       size. *)
+    let s = Metrics.series obs.Obs.metrics "stage1.replica_cost" in
+    Array.iter (Metrics.sample s) replica_costs
+  end;
   { best = results.(!best_index);
     best_index = !best_index;
     replica_costs }

@@ -39,13 +39,24 @@ val run :
   ?core:Twmc_geometry.Rect.t ->
   ?on_temp:(temp_record -> unit) ->
   ?should_stop:(unit -> bool) ->
+  ?obs:Twmc_obs.Ctx.t ->
+  ?replica:int ->
   rng:Twmc_sa.Rng.t ->
   Twmc_netlist.Netlist.t ->
   result
 (** When [core] is omitted it is determined by {!Twmc_estimator.Core_area}
     and centered on the origin.  [should_stop] is polled every 128 moves
     inside the inner loop (cooperative timeout): when it returns true the
-    anneal exits after repairing its cost caches, flagging [interrupted]. *)
+    anneal exits after repairing its cost caches, flagging [interrupted].
+
+    [obs] (default disabled, zero overhead) wraps the anneal in a
+    ["stage1.anneal"] span, emits one ["stage1.temp"] point per
+    temperature (cost, C1/C2/C3 decomposition, acceptance rate,
+    range-limiter window) and records the move-class accept counters
+    ([stage1.moves.*]) into the metrics registry.  [replica] tags every
+    emitted event with the replica index (set by {!run_best_of_k}).
+    Instrumentation only reads placement state: results are bit-identical
+    with it on or off. *)
 
 type multi_result = {
   best : result;  (** The replica with the lowest final {!Placement.total_cost}. *)
@@ -58,6 +69,7 @@ val run_best_of_k :
   ?core:Twmc_geometry.Rect.t ->
   ?should_stop:(unit -> bool) ->
   ?pool:Twmc_util.Domain_pool.t ->
+  ?obs:Twmc_obs.Ctx.t ->
   rng:Twmc_sa.Rng.t ->
   k:int ->
   Twmc_netlist.Netlist.t ->
@@ -71,4 +83,8 @@ val run_best_of_k :
     comparison with a lowest-index tie-break.  [rng] is advanced by the
     [k] splits, so downstream draws are also independent of the pool.
     [should_stop] is shared by all replicas (each polls it cooperatively).
+    [obs] adds a ["stage1.best_of_k"] span, per-replica spans/points
+    (tagged with their replica index), a ["stage1.winner"] point and the
+    [stage1.replica_cost] metric series (sampled in index order after the
+    join, so deterministic at any pool size).
     Raises [Invalid_argument] when [k <= 0]. *)

@@ -5,6 +5,7 @@ type result = {
   chosen : int array;
   total_length : int;
   overflow : int;
+  initial_overflow : int;
   edge_density : int array;
   attempts : int;
   skipped : int list;
@@ -38,6 +39,9 @@ let run ?m ~rng ~graph ~alternatives () =
   for e = 0 to n_edges - 1 do
     x := !x + overflow_of_edge e
   done;
+  (* [X] of the all-shortest (k = 1) selection, before any interchange —
+     the "overflow before" a telemetry consumer plots per iteration. *)
+  let initial_overflow = !x in
   let l = ref 0 in
   Array.iteri
     (fun i a -> if live i then l := !l + a.(chosen.(i)).Steiner.length)
@@ -125,6 +129,7 @@ let run ?m ~rng ~graph ~alternatives () =
   { chosen;
     total_length = !l;
     overflow = !x;
+    initial_overflow;
     edge_density = density;
     attempts = !attempts;
     skipped }

@@ -13,6 +13,9 @@ type result = {
   chosen : int array;  (** Per net: index into its alternative list. *)
   total_length : int;  (** Final [L]. *)
   overflow : int;  (** Final [X]. *)
+  initial_overflow : int;
+      (** [X] of the all-shortest ([k = 1]) selection before any
+          interchange — the baseline the random interchange improves on. *)
   edge_density : int array;  (** Final [D_j] per channel-graph edge. *)
   attempts : int;
   skipped : int list;

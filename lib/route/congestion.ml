@@ -10,19 +10,22 @@ type report = {
   histogram : (string * int) list;
 }
 
+(* The bucket order is part of the report contract (tests pin it, and the
+   JSON/metrics exporters preserve list order), so the histogram is built
+   over a fixed-index array — no hash table whose iteration order could
+   leak into the output. *)
 let buckets = [ "0"; "(0,25]"; "(25,50]"; "(50,75]"; "(75,100]"; ">100" ]
 
-let bucket_of utilization =
-  if utilization <= 0.0 then "0"
-  else if utilization <= 0.25 then "(0,25]"
-  else if utilization <= 0.50 then "(25,50]"
-  else if utilization <= 0.75 then "(50,75]"
-  else if utilization <= 1.0 then "(75,100]"
-  else ">100"
+let bucket_index utilization =
+  if utilization <= 0.0 then 0
+  else if utilization <= 0.25 then 1
+  else if utilization <= 0.50 then 2
+  else if utilization <= 0.75 then 3
+  else if utilization <= 1.0 then 4
+  else 5
 
 let of_result (r : Global_router.result) =
-  let counts = Hashtbl.create 8 in
-  List.iter (fun b -> Hashtbl.replace counts b 0) buckets;
+  let counts = Array.make (List.length buckets) 0 in
   let used = ref 0 and maxd = ref 0 in
   let over_edges = ref 0 and over_total = ref 0 in
   let util_sum = ref 0.0 in
@@ -37,8 +40,8 @@ let of_result (r : Global_router.result) =
       end;
       let u = float_of_int d /. float_of_int (max 1 e.G.capacity) in
       if d > 0 then util_sum := !util_sum +. u;
-      let b = bucket_of u in
-      Hashtbl.replace counts b (1 + Hashtbl.find counts b))
+      let b = bucket_index u in
+      counts.(b) <- counts.(b) + 1)
     r.Global_router.graph.G.edges;
   let n_edges = G.n_edges r.Global_router.graph in
   { n_edges;
@@ -48,7 +51,7 @@ let of_result (r : Global_router.result) =
     total_overflow = !over_total;
     avg_utilization =
       (if !used = 0 then 0.0 else !util_sum /. float_of_int !used);
-    histogram = List.map (fun b -> (b, Hashtbl.find counts b)) buckets }
+    histogram = List.mapi (fun i b -> (b, counts.(i))) buckets }
 
 let pp ppf r =
   Format.fprintf ppf

@@ -13,9 +13,15 @@ type report = {
   total_overflow : int;  (** The [X] of Eqn 24. *)
   avg_utilization : float;  (** Mean density/capacity over used edges. *)
   histogram : (string * int) list;
-      (** Utilization buckets: "0", "(0,25]", "(25,50]", "(50,75]",
-          "(75,100]", ">100" (percent of capacity). *)
+      (** Utilization buckets, always in the fixed order of {!buckets}
+          regardless of input — the labels and their order are a stable
+          contract. *)
 }
+
+val buckets : string list
+(** The histogram's bucket labels in report order: ["0"], ["(0,25]"],
+    ["(25,50]"], ["(50,75]"], ["(75,100]"], [">100"] (percent of
+    capacity). *)
 
 val of_result : Global_router.result -> report
 val pp : Format.formatter -> report -> unit

@@ -1,5 +1,8 @@
 module G = Twmc_channel.Graph
 module Pin_map = Twmc_channel.Pin_map
+module Obs = Twmc_obs.Ctx
+module Attr = Twmc_obs.Attr
+module Metrics = Twmc_obs.Metrics
 
 type routed_net = { net : int; route : Steiner.route; alternatives : int }
 
@@ -9,11 +12,13 @@ type result = {
   unroutable : int list;
   total_length : int;
   overflow : int;
+  initial_overflow : int;
   edge_density : int array;
   assign_attempts : int;
 }
 
-let route ?(m = 20) ?budget_factor ?should_stop ?pool ~rng ~graph ~tasks () =
+let route ?(m = 20) ?budget_factor ?should_stop ?pool ?(obs = Obs.disabled)
+    ~rng ~graph ~tasks () =
   let poll = match should_stop with None -> fun () -> false | Some f -> f in
   (* Phase 1 is read-only over the channel graph and independent per net, so
      the enumeration fans out over the pool; results are merged back in net
@@ -29,53 +34,111 @@ let route ?(m = 20) ?budget_factor ?should_stop ?pool ~rng ~graph ~tasks () =
       in
       (task.Pin_map.net, Steiner.routes ?budget_factor graph ~m ~terminals)
   in
-  let enumerated =
-    let tasks = Array.of_list tasks in
-    match pool with
-    | Some pool -> Twmc_util.Domain_pool.parallel_map pool ~f:enumerate tasks
-    | None -> Array.mapi enumerate tasks
-  in
-  let with_routes, unroutable =
-    Array.fold_left
-      (fun (ok, bad) (net, routes) ->
-        match routes with
-        | [] -> (ok, net :: bad)
-        | routes -> ((net, Array.of_list routes) :: ok, bad))
-      ([], []) enumerated
-  in
-  let with_routes = List.rev with_routes in
-  let alternatives = Array.of_list (List.map snd with_routes) in
-  let nets = Array.of_list (List.map fst with_routes) in
-  if Array.length alternatives = 0 then
-    { graph;
-      routed = [];
-      unroutable = List.rev unroutable;
-      total_length = 0;
-      overflow = 0;
-      edge_density = Array.make (G.n_edges graph) 0;
-      assign_attempts = 0 }
-  else begin
-    let a = Assign.run ~m ~rng ~graph ~alternatives () in
-    let skipped = List.map (fun i -> nets.(i)) a.Assign.skipped in
-    let routed =
-      List.filter_map
-        (fun i ->
-          if List.mem i a.Assign.skipped then None
-          else
-            Some
-              { net = nets.(i);
-                route = alternatives.(i).(a.Assign.chosen.(i));
-                alternatives = Array.length alternatives.(i) })
-        (List.init (Array.length nets) Fun.id)
-    in
-    { graph;
-      routed;
-      unroutable = List.rev_append unroutable skipped;
-      total_length = a.Assign.total_length;
-      overflow = a.Assign.overflow;
-      edge_density = a.Assign.edge_density;
-      assign_attempts = a.Assign.attempts }
-  end
+  Obs.span obs ~name:"route"
+    ~attrs:
+      (if Obs.tracing obs then
+         [ ("nets", Attr.Int (List.length tasks)); ("m", Attr.Int m) ]
+       else [])
+    (fun () ->
+      let enumerated =
+        let tasks = Array.of_list tasks in
+        match pool with
+        | Some pool -> Twmc_util.Domain_pool.parallel_map pool ~f:enumerate tasks
+        | None -> Array.mapi enumerate tasks
+      in
+      (* Per-net enumeration telemetry, emitted on the caller's domain in
+         net order after the (possibly parallel) join — deterministic. *)
+      if Obs.tracing obs then
+        Array.iter
+          (fun (net, routes) ->
+            Obs.point obs ~name:"route.net"
+              ~attrs:
+                [ ("net", Attr.Int net);
+                  ("alternatives", Attr.Int (List.length routes)) ]
+              ())
+          enumerated;
+      if Obs.metrics_on obs then begin
+        let reg = obs.Obs.metrics in
+        let alts = Metrics.histogram reg "route.alternatives_per_net" in
+        Array.iter
+          (fun (_, routes) ->
+            Metrics.observe alts (float_of_int (List.length routes)))
+          enumerated;
+        Metrics.add
+          (Metrics.counter reg "route.routes_enumerated")
+          (Array.fold_left
+             (fun acc (_, routes) -> acc + List.length routes)
+             0 enumerated)
+      end;
+      let with_routes, unroutable =
+        Array.fold_left
+          (fun (ok, bad) (net, routes) ->
+            match routes with
+            | [] -> (ok, net :: bad)
+            | routes -> ((net, Array.of_list routes) :: ok, bad))
+          ([], []) enumerated
+      in
+      let with_routes = List.rev with_routes in
+      let alternatives = Array.of_list (List.map snd with_routes) in
+      let nets = Array.of_list (List.map fst with_routes) in
+      let finish r =
+        if Obs.tracing obs then
+          Obs.point obs ~name:"route.assign"
+            ~attrs:
+              [ ("nets", Attr.Int (List.length r.routed));
+                ("overflow_before", Attr.Int r.initial_overflow);
+                ("overflow_after", Attr.Int r.overflow);
+                ("length", Attr.Int r.total_length);
+                ("attempts", Attr.Int r.assign_attempts) ]
+            ();
+        if Obs.metrics_on obs then begin
+          let reg = obs.Obs.metrics in
+          Metrics.add
+            (Metrics.counter reg "route.nets_routed")
+            (List.length r.routed);
+          Metrics.add
+            (Metrics.counter reg "route.nets_unroutable")
+            (List.length r.unroutable);
+          Metrics.add
+            (Metrics.counter reg "route.assign_attempts")
+            r.assign_attempts
+        end;
+        r
+      in
+      if Array.length alternatives = 0 then
+        finish
+          { graph;
+            routed = [];
+            unroutable = List.rev unroutable;
+            total_length = 0;
+            overflow = 0;
+            initial_overflow = 0;
+            edge_density = Array.make (G.n_edges graph) 0;
+            assign_attempts = 0 }
+      else begin
+        let a = Assign.run ~m ~rng ~graph ~alternatives () in
+        let skipped = List.map (fun i -> nets.(i)) a.Assign.skipped in
+        let routed =
+          List.filter_map
+            (fun i ->
+              if List.mem i a.Assign.skipped then None
+              else
+                Some
+                  { net = nets.(i);
+                    route = alternatives.(i).(a.Assign.chosen.(i));
+                    alternatives = Array.length alternatives.(i) })
+            (List.init (Array.length nets) Fun.id)
+        in
+        finish
+          { graph;
+            routed;
+            unroutable = List.rev_append unroutable skipped;
+            total_length = a.Assign.total_length;
+            overflow = a.Assign.overflow;
+            initial_overflow = a.Assign.initial_overflow;
+            edge_density = a.Assign.edge_density;
+            assign_attempts = a.Assign.attempts }
+      end)
 
 let node_density r =
   let d = Array.make (G.n_nodes r.graph) 0 in

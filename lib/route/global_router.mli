@@ -20,6 +20,9 @@ type result = {
           skipped when a [should_stop] budget fired mid-enumeration. *)
   total_length : int;  (** [L] over routed nets. *)
   overflow : int;  (** Final [X]. *)
+  initial_overflow : int;
+      (** [X] before phase-2 interchange (all nets on their shortest
+          route); [overflow <= initial_overflow] always. *)
   edge_density : int array;
   assign_attempts : int;
 }
@@ -29,6 +32,7 @@ val route :
   ?budget_factor:int ->
   ?should_stop:(unit -> bool) ->
   ?pool:Twmc_util.Domain_pool.t ->
+  ?obs:Twmc_obs.Ctx.t ->
   rng:Twmc_sa.Rng.t ->
   graph:Twmc_channel.Graph.t ->
   tasks:Twmc_channel.Pin_map.net_task list ->
@@ -40,7 +44,15 @@ val route :
     degradation under a wall-clock budget).  [pool] parallelizes the
     phase-1 per-net enumeration (the graph is only read); alternatives are
     merged back in net order and phase 2 is sequential, so the result is
-    identical with or without a pool. *)
+    identical with or without a pool.
+
+    [obs] (default disabled, zero overhead) wraps the call in a ["route"]
+    span, emits one ["route.net"] point per net (alternatives enumerated,
+    in net order on the caller's domain — deterministic at any pool size),
+    one ["route.assign"] point (overflow before/after phase 2, length,
+    interchange attempts) and records routed/unroutable counters plus the
+    per-net alternatives histogram.  Never draws from [rng]: routing bytes
+    are identical with it on or off. *)
 
 val node_density : result -> int array
 (** Per region: the maximum density of its incident channel-graph edges —

@@ -25,7 +25,8 @@ type config = {
   freeze_loops : int;
 }
 
-let run config ~rng ~generate ~cost ?(on_temp = fun _ -> ()) ?stop () =
+let run config ~rng ~generate ~cost ?(on_temp = fun _ -> ())
+    ?(obs = Twmc_obs.Ctx.disabled) ?stop () =
   if config.moves_per_temp <= 0 then invalid_arg "Anneal.run: moves_per_temp";
   let trace = ref [] in
   let frozen = ref 0 in
@@ -48,6 +49,15 @@ let run config ~rng ~generate ~cost ?(on_temp = fun _ -> ()) ?stop () =
     in
     trace := st :: !trace;
     on_temp st;
+    if Twmc_obs.Ctx.tracing obs then
+      Twmc_obs.Ctx.point obs ~name:"anneal.temp"
+        ~attrs:
+          [ ("t", Twmc_obs.Attr.Float t);
+            ("acceptance",
+             Twmc_obs.Attr.Float
+               (float_of_int !accepts /. float_of_int config.moves_per_temp));
+            ("cost", Twmc_obs.Attr.Float c) ]
+        ();
     if c = !last_cost then incr frozen else frozen := 0;
     last_cost := c;
     if config.freeze_loops > 0 && !frozen >= config.freeze_loops then
@@ -59,5 +69,13 @@ let run config ~rng ~generate ~cost ?(on_temp = fun _ -> ()) ?stop () =
           let t' = Schedule.next config.schedule t in
           if t' < config.t_floor then Schedule_exhausted else loop t'
   in
-  let reason = loop config.t_start in
+  let reason =
+    Twmc_obs.Ctx.span obs ~name:"anneal"
+      ~attrs:
+        (if Twmc_obs.Ctx.tracing obs then
+           [ ("t_start", Twmc_obs.Attr.Float config.t_start);
+             ("moves_per_temp", Twmc_obs.Attr.Int config.moves_per_temp) ]
+         else [])
+      (fun () -> loop config.t_start)
+  in
   (reason, List.rev !trace)

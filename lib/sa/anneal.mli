@@ -46,6 +46,7 @@ val run :
   generate:(Rng.t -> t:float -> proposal option) ->
   cost:(unit -> float) ->
   ?on_temp:(stats -> unit) ->
+  ?obs:Twmc_obs.Ctx.t ->
   ?stop:(t:float -> bool) ->
   unit ->
   stop_reason * stats list
@@ -53,4 +54,9 @@ val run :
     degenerate/self-rejecting attempt (still counted as an attempt).
     [stop ~t] is evaluated after each inner loop — TimberWolfMC's stage-1
     criterion (range-limiter window at minimum span) plugs in here.
-    Returns the reason plus per-temperature statistics, oldest first. *)
+    Returns the reason plus per-temperature statistics, oldest first.
+
+    [obs] (default disabled, zero overhead) wraps the run in an ["anneal"]
+    span and emits one ["anneal.temp"] point per inner loop (temperature,
+    acceptance rate, cost).  Tracing never draws from [rng] and never
+    mutates client state: results are identical with it on or off. *)

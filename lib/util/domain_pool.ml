@@ -4,6 +4,9 @@
    between its parallel regions), so a single [unfinished] counter per pool
    is enough. *)
 
+module Metrics = Twmc_obs.Metrics
+module Clock = Twmc_obs.Clock
+
 type task = unit -> unit
 
 type t = {
@@ -16,6 +19,14 @@ type t = {
   mutable stop : bool;
   mutable shut : bool;
   mutable workers : unit Domain.t list;
+  (* Observability: attached via [set_metrics]; with the null registry no
+     clock is ever read.  [busy_ns.(slot)] is only written by the domain
+     owning that slot (0 = the caller), so no extra locking is needed. *)
+  mutable metrics : Metrics.t;
+  created_ns : int;
+  busy_ns : float array;
+  tasks_run : int Atomic.t;
+  mutable batches : int;
 }
 
 let finish_task t =
@@ -24,7 +35,21 @@ let finish_task t =
   if t.unfinished = 0 then Condition.broadcast t.done_cv;
   Mutex.unlock t.m
 
-let worker_loop t =
+(* Run one queued chunk on behalf of [slot], timing it when metrics are
+   attached.  Timing wraps only the execution — it cannot change what the
+   chunk computes. *)
+let execute t ~slot task =
+  if Metrics.enabled t.metrics then begin
+    let t0 = Clock.now_ns () in
+    let finally () =
+      t.busy_ns.(slot) <- t.busy_ns.(slot) +. float_of_int (Clock.now_ns () - t0);
+      Atomic.incr t.tasks_run
+    in
+    Fun.protect ~finally task
+  end
+  else task ()
+
+let worker_loop t ~slot =
   let running = ref true in
   while !running do
     Mutex.lock t.m;
@@ -39,7 +64,7 @@ let worker_loop t =
     else begin
       let task = Queue.pop t.queue in
       Mutex.unlock t.m;
-      task ();
+      execute t ~slot task;
       finish_task t
     end
   done
@@ -59,17 +84,41 @@ let create ?jobs () =
       unfinished = 0;
       stop = false;
       shut = false;
-      workers = [] }
+      workers = [];
+      metrics = Metrics.null;
+      created_ns = Clock.now_ns ();
+      busy_ns = Array.make jobs 0.0;
+      tasks_run = Atomic.make 0;
+      batches = 0 }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~slot:(i + 1)));
   t
 
 let jobs t = t.jobs
 
+let set_metrics t m = t.metrics <- m
+
 let parallel_map (type b) t ~f arr : b array =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if t.jobs = 1 || n = 1 then Array.mapi f arr
+  else if t.jobs = 1 || n = 1 then begin
+    if Metrics.enabled t.metrics then begin
+      Mutex.lock t.m;
+      t.batches <- t.batches + 1;
+      Mutex.unlock t.m
+    end;
+    let run () = Array.mapi f arr in
+    if Metrics.enabled t.metrics then begin
+      let t0 = Clock.now_ns () in
+      let r = run () in
+      t.busy_ns.(0) <- t.busy_ns.(0) +. float_of_int (Clock.now_ns () - t0);
+      Atomic.incr t.tasks_run;
+      r
+    end
+    else run ()
+  end
   else begin
     (* [res] holds options so no dummy of type [b] is needed (and flat float
        arrays stay sound). *)
@@ -90,6 +139,7 @@ let parallel_map (type b) t ~f arr : b array =
       invalid_arg "Domain_pool.parallel_map: pool is shut down"
     end;
     t.unfinished <- t.unfinished + chunks;
+    t.batches <- t.batches + 1;
     for c = 0 to chunks - 1 do
       Queue.push (chunk c) t.queue
     done;
@@ -103,7 +153,7 @@ let parallel_map (type b) t ~f arr : b array =
       match Queue.pop t.queue with
       | task ->
           Mutex.unlock t.m;
-          task ();
+          execute t ~slot:0 task;
           finish_task t
       | exception Queue.Empty ->
           while t.unfinished > 0 do
@@ -123,6 +173,28 @@ let parallel_map (type b) t ~f arr : b array =
 let run t thunks =
   parallel_map t ~f:(fun _ th -> th ()) (Array.of_list thunks)
 
+let flush_metrics t =
+  if Metrics.enabled t.metrics then begin
+    let m = t.metrics in
+    let wall_ns = float_of_int (max 1 (Clock.now_ns () - t.created_ns)) in
+    Metrics.add (Metrics.counter m "pool.tasks") (Atomic.get t.tasks_run);
+    Metrics.add (Metrics.counter m "pool.batches") t.batches;
+    let busy = Metrics.series m "pool.busy_s"
+    and util = Metrics.series m "pool.utilization" in
+    let total = ref 0.0 and maxb = ref 0.0 in
+    Array.iter
+      (fun ns ->
+        Metrics.sample busy (ns *. 1e-9);
+        Metrics.sample util (ns /. wall_ns);
+        total := !total +. ns;
+        if ns > !maxb then maxb := ns)
+      t.busy_ns;
+    let mean = !total /. float_of_int t.jobs in
+    Metrics.set
+      (Metrics.gauge m "pool.imbalance")
+      (if mean > 0.0 then !maxb /. mean else 1.0)
+  end
+
 let shutdown t =
   Mutex.lock t.m;
   if t.shut then Mutex.unlock t.m
@@ -132,7 +204,8 @@ let shutdown t =
     Condition.broadcast t.work_cv;
     Mutex.unlock t.m;
     List.iter Domain.join t.workers;
-    t.workers <- []
+    t.workers <- [];
+    flush_metrics t
   end
 
 let with_pool ?jobs f =

@@ -38,6 +38,17 @@ val run : t -> (unit -> 'a) list -> 'a array
     returning results in thunk order.  Convenience wrapper over
     {!parallel_map}. *)
 
+val set_metrics : t -> Twmc_obs.Metrics.t -> unit
+(** Attach a metrics registry.  From then on the pool times every executed
+    chunk (monotonic clock, per participating domain) and, on {!shutdown},
+    records: counter [pool.tasks] (chunks executed), counter
+    [pool.batches] ([parallel_map] calls), series [pool.busy_s] (busy
+    seconds, one sample per domain, caller first), series
+    [pool.utilization] (busy / pool wall lifetime per domain) and gauge
+    [pool.imbalance] (max/mean busy across domains).  With the default
+    null registry the pool does no timing at all; metrics never affect
+    mapped results. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains.  Idempotent; the pool must not be used
     afterwards.  Pools that are never shut down leak their domains until

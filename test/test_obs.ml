@@ -1,0 +1,374 @@
+(* Observability subsystem tests.
+
+   The two contracts under test, beyond unit behavior:
+
+   - results are BIT-IDENTICAL with observability on or off, at any
+     --jobs (instrumentation only reads algorithm state);
+   - the disabled path allocates nothing (one branch per site), verified
+     through the minor-heap allocation counter. *)
+
+module Obs = Twmc_obs.Ctx
+module Attr = Twmc_obs.Attr
+module Sink = Twmc_obs.Sink
+module Tracer = Twmc_obs.Tracer
+module Metrics = Twmc_obs.Metrics
+module Report = Twmc_obs.Report
+module Placement = Twmc_place.Placement
+module Stage1 = Twmc_place.Stage1
+module Synth = Twmc_workload.Synth
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let test_jobs =
+  match Sys.getenv_opt "TWMC_TEST_JOBS" with
+  | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* ------------------------------------------------------------ metrics *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  check "counter" 42 (Metrics.counter_value c);
+  check "get-or-create" 42 (Metrics.counter_value (Metrics.counter m "c"));
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram m "h" in
+  Metrics.observe h 0.1;
+  Metrics.observe h 100.0;
+  check "histogram count" 2 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 100.1 (Metrics.histogram_sum h);
+  let s = Metrics.series m "s" in
+  Metrics.sample s 1.0;
+  Metrics.sample s 2.0;
+  Alcotest.(check (list (float 0.0))) "series oldest first" [ 1.0; 2.0 ]
+    (Metrics.series_values s)
+
+let test_metrics_null_noop () =
+  let c = Metrics.counter Metrics.null "c" in
+  Metrics.incr c;
+  check "null counter stays 0" 0 (Metrics.counter_value c);
+  let s = Metrics.series Metrics.null "s" in
+  Metrics.sample s 3.0;
+  Alcotest.(check (list (float 0.0))) "null series empty" []
+    (Metrics.series_values s);
+  checkb "null disabled" false (Metrics.enabled Metrics.null)
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "b.count") 3;
+  Metrics.add (Metrics.counter m "a.count") 1;
+  Metrics.set (Metrics.gauge m "gauge") 1.5;
+  Metrics.observe (Metrics.histogram m "h") 0.25;
+  ignore (Metrics.series m "empty.series");
+  Metrics.sample (Metrics.series m "s") 7.0;
+  let j = Report.parse_json (Metrics.to_json m) in
+  match j with
+  | Report.Obj sections ->
+      let section name =
+        match List.assoc name sections with
+        | Report.Obj kvs -> kvs
+        | _ -> Alcotest.failf "section %s not an object" name
+      in
+      Alcotest.(check (list string))
+        "counters sorted" [ "a.count"; "b.count" ]
+        (List.map fst (section "counters"));
+      checkb "declared empty series exported" true
+        (List.mem_assoc "empty.series" (section "series"));
+      (match List.assoc "s" (section "series") with
+      | Report.List [ Report.Num 7.0 ] -> ()
+      | _ -> Alcotest.fail "series s should be [7]");
+      checkb "histogram present" true (List.mem_assoc "h" (section "histograms"))
+  | _ -> Alcotest.fail "to_json must be a JSON object"
+
+let test_metrics_time () =
+  let m = Metrics.create () in
+  let v = Metrics.time m "work" (fun () -> 17) in
+  check "thunk value" 17 v;
+  check "duration observed" 1
+    (Metrics.histogram_count (Metrics.histogram m "work"));
+  check "calls counter" 1 (Metrics.counter_value (Metrics.counter m "work.calls"))
+
+(* ------------------------------------------------------------- tracer *)
+
+let test_tracer_nesting () =
+  let sink = Sink.memory () in
+  let t = Tracer.create sink in
+  let v =
+    Tracer.span t ~name:"outer" (fun () ->
+        Tracer.span t ~name:"inner" (fun () ->
+            Tracer.point t ~name:"p" ~attrs:[ ("k", Attr.Int 1) ] ());
+        9)
+  in
+  check "span returns thunk value" 9 v;
+  match Sink.memory_events sink with
+  | [ Sink.Span_begin { id = outer_id; parent = outer_parent; _ };
+      Sink.Span_begin { id = inner_id; parent = inner_parent; _ };
+      Sink.Point _; Sink.Span_end { id = inner_end; _ };
+      Sink.Span_end { id = outer_end; name = outer_name; _ } ] ->
+      check "outer has no parent" 0 outer_parent;
+      check "inner nests under outer" outer_id inner_parent;
+      check "inner closes first" inner_id inner_end;
+      check "outer closes last" outer_id outer_end;
+      checks "names match" "outer" outer_name
+  | evs -> Alcotest.failf "unexpected event shape (%d events)" (List.length evs)
+
+exception Kaboom
+
+let test_tracer_exception () =
+  let sink = Sink.memory () in
+  let t = Tracer.create sink in
+  (try Tracer.span t ~name:"s" (fun () -> raise Kaboom)
+   with Kaboom -> ());
+  match Sink.memory_events sink with
+  | [ Sink.Span_begin _; Sink.Span_end { attrs; _ } ] ->
+      checkb "error attr" true (List.mem ("error", Attr.Bool true) attrs)
+  | _ -> Alcotest.fail "span must close even on exceptions"
+
+let test_jsonl_round_trip () =
+  let line =
+    Sink.jsonl_of_event
+      (Sink.Span_begin
+         { id = 3; parent = 1; name = "a \"b\""; t_ns = 12;
+           attrs = [ ("x", Attr.Float 1.5); ("y", Attr.Str "z") ] })
+  in
+  match Report.parse_json line with
+  | Report.Obj kvs ->
+      checkb "version stamped" true
+        (List.assoc "v" kvs = Report.Num (float_of_int Sink.schema_version));
+      checkb "name round-trips" true
+        (List.assoc "name" kvs = Report.Str "a \"b\"")
+  | _ -> Alcotest.fail "jsonl_of_event must emit one JSON object"
+
+(* ---------------------------------------------- disabled-path overhead *)
+
+(* The disabled context may not allocate: drive many span+point sites and
+   bound the minor-heap growth by a constant (the [Gc.minor_words] calls
+   themselves box a float or two — far below one word per iteration). *)
+let test_disabled_no_alloc () =
+  let obs = Obs.disabled in
+  let body () = Obs.point obs ~name:"p" () in
+  let iters = 10_000 in
+  (* Warm up so any one-time allocation is out of the measured window. *)
+  Obs.span obs ~name:"s" body;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Obs.span obs ~name:"s" body
+  done;
+  let w1 = Gc.minor_words () in
+  checkb
+    (Printf.sprintf "disabled path allocates (%.0f words / %d iters)"
+       (w1 -. w0) iters)
+    true
+    (w1 -. w0 < 64.0)
+
+(* ----------------------------------------------- bit-identity contract *)
+
+let small_nl =
+  lazy
+    (Synth.generate ~seed:21
+       { Synth.default_spec with
+         Synth.n_cells = 8;
+         n_nets = 24;
+         n_pins = 80;
+         frac_custom = 0.4 })
+
+let quick_params =
+  { Twmc_place.Params.default with
+    Twmc_place.Params.a_c = 15;
+    refinement_iterations = 1 }
+
+let placement_bytes p =
+  let nl = Placement.netlist p in
+  let b = Buffer.create 256 in
+  for ci = 0 to Twmc_netlist.Netlist.n_cells nl - 1 do
+    let x, y = Placement.cell_pos p ci in
+    Buffer.add_string b
+      (Printf.sprintf "%d:%d,%d,%s,%d;" ci x y
+         (Twmc_geometry.Orient.to_string (Placement.cell_orient p ci))
+         (Placement.cell_variant p ci))
+  done;
+  Buffer.contents b
+
+let route_bytes (r : Twmc_route.Global_router.result) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (rn : Twmc_route.Global_router.routed_net) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d:%s;" rn.Twmc_route.Global_router.net
+           (String.concat ","
+              (List.map string_of_int
+                 rn.Twmc_route.Global_router.route.Twmc_route.Steiner.edges))))
+    r.Twmc_route.Global_router.routed;
+  Buffer.add_string b
+    (Printf.sprintf "|L=%d X=%d X0=%d"
+       r.Twmc_route.Global_router.total_length
+       r.Twmc_route.Global_router.overflow
+       r.Twmc_route.Global_router.initial_overflow);
+  Buffer.contents b
+
+let flow_bytes (r : Twmc.Flow.result) =
+  placement_bytes r.Twmc.Flow.stage2.Twmc.Stage2.placement
+  ^
+  match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
+  | None -> "|noroute"
+  | Some route -> "|" ^ route_bytes route
+
+let enabled_obs () =
+  Obs.create ~sink:(Sink.memory ()) ~metrics:(Metrics.create ()) ()
+
+let flow ~jobs ~obs () =
+  Twmc.Flow.run ~params:quick_params ~seed:3 ~jobs ~replicas:2 ~obs
+    (Lazy.force small_nl)
+
+let test_bit_identity () =
+  let baseline = flow_bytes (flow ~jobs:1 ~obs:Obs.disabled ()) in
+  List.iter
+    (fun jobs ->
+      checks
+        (Printf.sprintf "tracing off, jobs=%d" jobs)
+        baseline
+        (flow_bytes (flow ~jobs ~obs:Obs.disabled ()));
+      checks
+        (Printf.sprintf "tracing on, jobs=%d" jobs)
+        baseline
+        (flow_bytes (flow ~jobs ~obs:(enabled_obs ()) ())))
+    [ 1; test_jobs ]
+
+(* Counters/series/histograms must also be jobs-invariant (counter adds
+   commute; series are sampled sequentially from returned traces).  Only
+   the pool.* instruments and wall-clock gauges may differ. *)
+let test_metrics_jobs_invariant () =
+  let deterministic_sections obs =
+    match Report.parse_json (Metrics.to_json obs.Obs.metrics) with
+    | Report.Obj sections ->
+        List.filter_map
+          (fun (sec, v) ->
+            if sec = "gauges" then None
+            else
+              match v with
+              | Report.Obj kvs ->
+                  Some
+                    ( sec,
+                      List.filter
+                        (fun (k, _) ->
+                          not (String.length k >= 5 && String.sub k 0 5 = "pool."))
+                        kvs )
+              | _ -> None)
+          sections
+    | _ -> Alcotest.fail "metrics JSON must be an object"
+  in
+  let o1 = enabled_obs () and oN = enabled_obs () in
+  ignore (flow ~jobs:1 ~obs:o1 ());
+  ignore (flow ~jobs:test_jobs ~obs:oN ());
+  checkb "identical non-pool metrics" true
+    (deterministic_sections o1 = deterministic_sections oN)
+
+(* ------------------------------------------------------ trace integrity *)
+
+let with_temp_trace f =
+  let path = Filename.temp_file "twmc_obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_trace_file_valid () =
+  with_temp_trace (fun path ->
+      let sink = Sink.to_file path in
+      let obs = Obs.create ~sink ~metrics:(Metrics.create ()) () in
+      ignore (flow ~jobs:test_jobs ~obs ());
+      Sink.close sink;
+      let events = Report.load path in
+      Alcotest.(check (list string)) "valid trace" [] (Report.validate events);
+      checkb "has flow span" true
+        (List.exists
+           (fun (e : Report.event) ->
+             e.Report.ev = "span_begin" && e.Report.name = "flow")
+           events);
+      checkb "has stage1 temp points" true
+        (List.exists
+           (fun (e : Report.event) ->
+             e.Report.ev = "point" && e.Report.name = "stage1.temp")
+           events);
+      checkb "has route.assign points" true
+        (List.exists
+           (fun (e : Report.event) ->
+             e.Report.ev = "point" && e.Report.name = "route.assign")
+           events);
+      (* The summary renderer accepts a real trace. *)
+      let b = Buffer.create 512 in
+      Format.fprintf (Format.formatter_of_buffer b) "%a@?" Report.pp_summary
+        events;
+      checkb "summary non-empty" true (Buffer.length b > 0))
+
+let test_validate_rejects () =
+  let meta =
+    { Report.v = Sink.schema_version; ev = "meta"; id = 0; parent = 0;
+      name = "twmc-trace"; t_ns = 0; attrs = [] }
+  in
+  let ev ?(v = Sink.schema_version) ?(id = 0) ?(parent = 0) ?(t_ns = 1) kind
+      name =
+    { Report.v; ev = kind; id; parent; name; t_ns; attrs = [] }
+  in
+  checkb "unclosed span" true
+    (Report.validate [ meta; ev "span_begin" ~id:1 "s" ] <> []);
+  checkb "mismatched end name" true
+    (Report.validate
+       [ meta; ev "span_begin" ~id:1 "a"; ev "span_end" ~id:1 ~t_ns:2 "b" ]
+    <> []);
+  checkb "decreasing timestamps" true
+    (Report.validate
+       [ meta; ev "span_begin" ~id:1 ~t_ns:5 "s";
+         ev "span_end" ~id:1 ~t_ns:4 "s" ]
+    <> []);
+  checkb "missing meta" true (Report.validate [ ev "point" "p" ] <> []);
+  Alcotest.(check (list string))
+    "balanced trace valid" []
+    (Report.validate
+       [ meta; ev "span_begin" ~id:1 "s"; ev "point" ~t_ns:2 "p";
+         ev "span_end" ~id:1 ~t_ns:3 "s" ])
+
+(* ------------------------------------------------------- stage-2 trace *)
+
+let test_stage2_trace () =
+  let r = flow ~jobs:1 ~obs:Obs.disabled () in
+  let trace = r.Twmc.Flow.stage2.Twmc.Stage2.trace in
+  checkb "stage-2 trace non-empty" true (trace <> []);
+  List.iter
+    (fun (t : Stage1.temp_record) ->
+      checkb "acceptance in [0,1]" true
+        (t.Stage1.acceptance >= 0.0 && t.Stage1.acceptance <= 1.0);
+      checkb "temperature positive" true (t.Stage1.temperature > 0.0))
+    trace
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "instruments" `Quick test_metrics_basics;
+          Alcotest.test_case "null registry no-op" `Quick test_metrics_null_noop;
+          Alcotest.test_case "json export" `Quick test_metrics_json;
+          Alcotest.test_case "timer" `Quick test_metrics_time ] );
+      ( "tracer",
+        [ Alcotest.test_case "span nesting" `Quick test_tracer_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_tracer_exception;
+          Alcotest.test_case "jsonl round trip" `Quick test_jsonl_round_trip ] );
+      ( "overhead",
+        [ Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_no_alloc ] );
+      ( "determinism",
+        [ Alcotest.test_case "bit identity on/off x jobs" `Quick
+            test_bit_identity;
+          Alcotest.test_case "metrics jobs-invariant" `Quick
+            test_metrics_jobs_invariant ] );
+      ( "trace",
+        [ Alcotest.test_case "traced flow validates" `Quick
+            test_trace_file_valid;
+          Alcotest.test_case "validate rejects malformed" `Quick
+            test_validate_rejects;
+          Alcotest.test_case "stage-2 trace exposed" `Quick test_stage2_trace ]
+      ) ]

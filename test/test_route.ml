@@ -379,6 +379,7 @@ let test_congestion_report () =
       unroutable = [];
       total_length = a.Assign.total_length;
       overflow = a.Assign.overflow;
+      initial_overflow = a.Assign.initial_overflow;
       edge_density = a.Assign.edge_density;
       assign_attempts = a.Assign.attempts }
   in
@@ -389,7 +390,16 @@ let test_congestion_report () =
   check "max density" 1 rep.Congestion.max_density;
   (* Every used edge at exactly capacity -> all in the (75,100] bucket. *)
   check "full bucket" 4 (List.assoc "(75,100]" rep.Congestion.histogram);
-  Alcotest.(check (float 1e-9)) "avg util" 1.0 rep.Congestion.avg_utilization
+  Alcotest.(check (float 1e-9)) "avg util" 1.0 rep.Congestion.avg_utilization;
+  (* The bucket labels and their order are a stable contract: pinned here
+     so no rewrite can silently reorder the histogram. *)
+  Alcotest.(check (list string))
+    "bucket labels pinned"
+    [ "0"; "(0,25]"; "(25,50]"; "(50,75]"; "(75,100]"; ">100" ]
+    (List.map fst rep.Congestion.histogram);
+  Alcotest.(check (list string))
+    "Congestion.buckets matches report order" Congestion.buckets
+    (List.map fst rep.Congestion.histogram)
 
 let () =
   Alcotest.run "route"
