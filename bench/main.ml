@@ -159,14 +159,12 @@ let micro_tests () =
   [ t_schedule; t_expansion; t_generate; t_extract; t_steiner; t_modulation;
     t_window; t_parse; t_obs_disabled ]
 
-let run_micro_bechamel () =
+let bechamel_run tests =
   let open Bechamel in
-  let tests = micro_tests () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
   in
-  Format.printf "@.Bechamel kernels (monotonic clock):@.";
   let collected = ref [] in
   List.iter
     (fun test ->
@@ -187,6 +185,150 @@ let run_micro_bechamel () =
         results)
     tests;
   List.rev !collected
+
+let run_micro_bechamel () =
+  Format.printf "@.Bechamel kernels (monotonic clock):@.";
+  bechamel_run (micro_tests ())
+
+(* ------------------------------------------- placement engine kernels *)
+
+(* A synthetic circuit big enough (>= 200 cells) that the O(n_cells) full
+   overlap scan visibly loses to the O(local density) indexed query; this
+   is the asymptotic win the PR-4 engine is about. *)
+let place_bench_scene =
+  lazy
+    (let nl =
+       Twmc_workload.Synth.generate ~seed:21
+         { Twmc_workload.Synth.default_spec with
+           Twmc_workload.Synth.name = "bench220";
+           n_cells = 220;
+           n_nets = 500;
+           n_pins = 1600;
+           frac_custom = 0.3 }
+     in
+     let sizing =
+       Twmc_estimator.Core_area.determine
+         ~beta:Twmc_place.Params.default.Twmc_place.Params.beta ~aspect:1.0
+         ~fill_target:0.6 nl
+     in
+     let w = sizing.Twmc_estimator.Core_area.core_w
+     and h = sizing.Twmc_estimator.Core_area.core_h in
+     let core =
+       Twmc_geometry.Rect.make ~x0:(-(w / 2)) ~y0:(-(h / 2))
+         ~x1:(w - (w / 2)) ~y1:(h - (h / 2))
+     in
+     let est =
+       Twmc_estimator.Dynamic_area.create ~core_w:w ~core_h:h nl
+     in
+     let p =
+       Twmc_place.Placement.create ~params:Twmc_place.Params.default ~core
+         ~expander:(Twmc_place.Placement.Dynamic est)
+         ~rng:(Twmc_sa.Rng.create ~seed:22)
+         nl
+     in
+     Twmc_place.Placement.set_p2 p 0.5;
+     (nl, core, p))
+
+let kn_overlap_scan = "place: overlap-scan (220 cells)"
+let kn_overlap_indexed = "place: overlap-indexed (220 cells)"
+let kn_delta_eval = "place: delta-eval (rejected move)"
+let kn_mutate_restore = "place: mutate+restore (rejected move)"
+
+let place_kernel_tests () =
+  let open Bechamel in
+  let nl, core, p = Lazy.force place_bench_scene in
+  let n = Twmc_netlist.Netlist.n_cells nl in
+  (* A fixed cycle of displacement proposals, shared by every kernel so
+     they all measure the same traffic. *)
+  let props =
+    let rng = Twmc_sa.Rng.create ~seed:33 in
+    Array.init 256 (fun _ ->
+        ( Twmc_sa.Rng.int_incl rng 0 (n - 1),
+          Twmc_sa.Rng.int_incl rng core.Twmc_geometry.Rect.x0
+            core.Twmc_geometry.Rect.x1,
+          Twmc_sa.Rng.int_incl rng core.Twmc_geometry.Rect.y0
+            core.Twmc_geometry.Rect.y1 ))
+  in
+  let moves =
+    Array.map
+      (fun (ci, x, y) ->
+        [ Twmc_place.Placement.Cell_move
+            { ci; x = Some x; y = Some y; orient = None; variant = None;
+              sites = None } ])
+      props
+  in
+  let cycle counter = let i = !counter in counter := (i + 1) land 255; i in
+  let t_scan =
+    let c = ref 0 in
+    Test.make ~name:kn_overlap_scan
+      (Staged.stage (fun () ->
+           let ci, _, _ = props.(cycle c) in
+           ignore (Twmc_place.Placement.cell_overlap_scan p ci)))
+  in
+  let t_indexed =
+    let c = ref 0 in
+    Test.make ~name:kn_overlap_indexed
+      (Staged.stage (fun () ->
+           let ci, _, _ = props.(cycle c) in
+           ignore (Twmc_place.Placement.cell_overlap p ci)))
+  in
+  let t_delta =
+    let c = ref 0 in
+    (* The post-PR rejected move: evaluate, decide, touch nothing. *)
+    Test.make ~name:kn_delta_eval
+      (Staged.stage (fun () ->
+           ignore (Twmc_place.Placement.delta_cost p moves.(cycle c))))
+  in
+  let t_mutate =
+    let c = ref 0 in
+    (* The pre-PR rejected move: snapshot, apply, measure, roll back. *)
+    Test.make ~name:kn_mutate_restore
+      (Staged.stage (fun () ->
+           let ci, x, y = props.(cycle c) in
+           let g = Twmc_place.Placement.snapshot_cost p in
+           let cs = Twmc_place.Placement.snapshot_cell p ci in
+           Twmc_place.Placement.set_cell p ci ~x ~y ();
+           ignore (Twmc_place.Placement.total_cost p);
+           Twmc_place.Placement.restore_cell p cs;
+           Twmc_place.Placement.restore_cost p g))
+  in
+  [ t_scan; t_indexed; t_delta; t_mutate ]
+
+let place_kernels () =
+  Format.printf "@.Placement cost-engine kernels (220-cell synthetic):@.";
+  bechamel_run (place_kernel_tests ())
+
+(* The CI guard: coarse ratios, not absolute ns thresholds (those are flaky
+   under CI load; the ratio between two kernels measured back-to-back on
+   the same machine is not). *)
+let check_place_speedup rows =
+  let get key =
+    match List.find_opt (fun (name, _) -> String.equal name key) rows with
+    | Some (_, ns) -> ns
+    | None -> failwith (Printf.sprintf "check-speedup: kernel %S missing" key)
+  in
+  let scan = get kn_overlap_scan
+  and indexed = get kn_overlap_indexed
+  and delta = get kn_delta_eval
+  and mutate = get kn_mutate_restore in
+  let ratio = scan /. indexed in
+  Format.printf "@.overlap speedup: scan %.0f ns / indexed %.0f ns = %.2fx@."
+    scan indexed ratio;
+  Format.printf
+    "rejected move:   mutate+restore %.0f ns vs delta-eval %.0f ns (%.2fx)@."
+    mutate delta (mutate /. delta);
+  let ok = ref true in
+  if ratio < 1.5 then begin
+    Format.printf
+      "FAIL: overlap-indexed is not >=1.5x faster than overlap-scan@.";
+    ok := false
+  end;
+  if delta >= mutate then begin
+    Format.printf "FAIL: delta-eval is not faster than mutate+restore@.";
+    ok := false
+  end;
+  if not !ok then exit 1;
+  Format.printf "speedup guard OK@."
 
 (* ------------------------------------- multicore kernels (1/2/4 domains) *)
 
@@ -363,24 +505,26 @@ let write_json path kernels =
 
 let run_micro ?json () =
   let bechamel = run_micro_bechamel () in
+  let place = place_kernels () in
   let stage1 = stage1_multicore_kernels () in
   let route = route_multicore_kernels () in
   let obs = obs_overhead_kernels () in
-  let kernels = bechamel @ stage1 @ route @ obs in
+  let kernels = bechamel @ place @ stage1 @ route @ obs in
   match json with None -> () | Some path -> write_json path kernels
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec strip acc prof json = function
-    | [] -> (List.rev acc, prof, json)
+  let rec strip acc prof json check = function
+    | [] -> (List.rev acc, prof, json, check)
     | "--profile" :: p :: rest -> (
         match Profile.of_name p with
-        | Some p -> strip acc p json rest
+        | Some p -> strip acc p json check rest
         | None -> failwith ("unknown profile " ^ p))
-    | "--json" :: path :: rest -> strip acc prof (Some path) rest
-    | a :: rest -> strip (a :: acc) prof json rest
+    | "--json" :: path :: rest -> strip acc prof (Some path) check rest
+    | "--check-speedup" :: rest -> strip acc prof json true rest
+    | a :: rest -> strip (a :: acc) prof json check rest
   in
-  let names, profile, json = strip [] Profile.quick None args in
+  let names, profile, json, check = strip [] Profile.quick None false args in
   match names with
   | [] ->
       Format.printf
@@ -393,6 +537,10 @@ let () =
         all_experiments;
       run_micro ?json ()
   | [ "micro" ] -> run_micro ?json ()
+  | [ "place-kernels" ] ->
+      let rows = place_kernels () in
+      (match json with None -> () | Some path -> write_json path rows);
+      if check then check_place_speedup rows
   | [ "tables" ] ->
       List.iter
         (fun e ->

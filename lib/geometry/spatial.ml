@@ -1,11 +1,29 @@
-type 'a entry = { key : 'a; rect : Rect.t }
+(* Uniform-grid spatial index, int-keyed.
 
-type 'a t = {
+   The hot consumer is the placement overlap term: one entry per cell
+   (keyed by cell index), moved millions of times over an anneal.  The
+   structure is tuned for that traffic pattern:
+
+   - keys are small non-negative ints, so per-key state (current
+     rectangle, presence, query stamp) lives in flat arrays that grow
+     geometrically — no hashing, no polymorphic equality anywhere;
+   - [query]/[iter_query] deduplicate multi-bin entries with a
+     monotonically increasing stamp per call against a per-key stamp
+     array: no per-call allocation at all on the [iter_query] path;
+   - [update] diffs the old and new bin ranges of a moved rectangle and
+     touches only the bins in the symmetric difference — a short move
+     that stays within its bins is O(1). *)
+
+type t = {
   world : Rect.t;
   cell_size : int;
   nx : int;
   ny : int;
-  bins : 'a entry list array;
+  bins : int list array;
+  mutable rects : Rect.t array;  (* key -> current rectangle *)
+  mutable present : bool array;
+  mutable seen : int array;  (* key -> stamp of the query that last saw it *)
+  mutable stamp : int;
   mutable count : int;
 }
 
@@ -14,7 +32,16 @@ let create ~world ~cell_size =
   if Rect.is_empty world then invalid_arg "Spatial.create: empty world";
   let nx = max 1 ((Rect.width world + cell_size - 1) / cell_size)
   and ny = max 1 ((Rect.height world + cell_size - 1) / cell_size) in
-  { world; cell_size; nx; ny; bins = Array.make (nx * ny) []; count = 0 }
+  { world;
+    cell_size;
+    nx;
+    ny;
+    bins = Array.make (nx * ny) [];
+    rects = Array.make 16 Rect.empty;
+    present = Array.make 16 false;
+    seen = Array.make 16 0;
+    stamp = 0;
+    count = 0 }
 
 let clamp lo hi v = max lo (min hi v)
 
@@ -28,42 +55,121 @@ let bin_range t (r : Rect.t) =
   and iy1 = clamp 0 (t.ny - 1) ((r.Rect.y1 - t.world.Rect.y0) / t.cell_size) in
   (ix0, ix1, iy0, iy1)
 
-let iter_bins t r f =
-  let ix0, ix1, iy0, iy1 = bin_range t r in
+let grow t key =
+  let n = Array.length t.rects in
+  if key >= n then begin
+    let n' = max (key + 1) (2 * n) in
+    let rects = Array.make n' Rect.empty
+    and present = Array.make n' false
+    and seen = Array.make n' 0 in
+    Array.blit t.rects 0 rects 0 n;
+    Array.blit t.present 0 present 0 n;
+    Array.blit t.seen 0 seen 0 n;
+    t.rects <- rects;
+    t.present <- present;
+    t.seen <- seen
+  end
+
+let add_to_bins t key (ix0, ix1, iy0, iy1) =
   for iy = iy0 to iy1 do
     for ix = ix0 to ix1 do
-      f ((iy * t.nx) + ix)
+      let i = (iy * t.nx) + ix in
+      t.bins.(i) <- key :: t.bins.(i)
+    done
+  done
+
+let drop_from_bin t key i =
+  let rec drop = function
+    | [] -> invalid_arg "Spatial: key missing from its bin"
+    | k :: rest -> if k = key then rest else k :: drop rest
+  in
+  t.bins.(i) <- drop t.bins.(i)
+
+let remove_from_bins t key (ix0, ix1, iy0, iy1) =
+  for iy = iy0 to iy1 do
+    for ix = ix0 to ix1 do
+      drop_from_bin t key ((iy * t.nx) + ix)
     done
   done
 
 let insert t key rect =
-  iter_bins t rect (fun i -> t.bins.(i) <- { key; rect } :: t.bins.(i));
+  if key < 0 then invalid_arg "Spatial.insert: negative key";
+  grow t key;
+  if t.present.(key) then invalid_arg "Spatial.insert: key already present";
+  t.present.(key) <- true;
+  t.rects.(key) <- rect;
+  add_to_bins t key (bin_range t rect);
   t.count <- t.count + 1
 
-let remove t key rect =
-  let removed = ref false in
-  iter_bins t rect (fun i ->
-      let rec drop = function
-        | [] -> invalid_arg "Spatial.remove: entry not present"
-        | e :: rest when e.key = key && Rect.equal e.rect rect ->
-            removed := true;
-            rest
-        | e :: rest -> e :: drop rest
-      in
-      t.bins.(i) <- drop t.bins.(i));
-  if not !removed then invalid_arg "Spatial.remove: entry not present";
+let remove t key =
+  if key < 0 || key >= Array.length t.present || not t.present.(key) then
+    invalid_arg "Spatial.remove: key not present";
+  remove_from_bins t key (bin_range t t.rects.(key));
+  t.present.(key) <- false;
+  t.rects.(key) <- Rect.empty;
   t.count <- t.count - 1
 
-let query t rect =
-  let seen = Hashtbl.create 8 in
-  let acc = ref [] in
-  iter_bins t rect (fun i ->
+let ranges_equal (a0, a1, b0, b1) (c0, c1, d0, d1) =
+  a0 = c0 && a1 = c1 && b0 = d0 && b1 = d1
+
+let update t key rect =
+  if key < 0 || key >= Array.length t.present || not t.present.(key) then
+    invalid_arg "Spatial.update: key not present";
+  let old_range = bin_range t t.rects.(key)
+  and new_range = bin_range t rect in
+  t.rects.(key) <- rect;
+  if not (ranges_equal old_range new_range) then begin
+    (* Touch only the symmetric difference of the two bin ranges. *)
+    let ox0, ox1, oy0, oy1 = old_range and nx0, nx1, ny0, ny1 = new_range in
+    for iy = oy0 to oy1 do
+      for ix = ox0 to ox1 do
+        if not (ix >= nx0 && ix <= nx1 && iy >= ny0 && iy <= ny1) then
+          drop_from_bin t key ((iy * t.nx) + ix)
+      done
+    done;
+    for iy = ny0 to ny1 do
+      for ix = nx0 to nx1 do
+        if not (ix >= ox0 && ix <= ox1 && iy >= oy0 && iy <= oy1) then
+          let i = (iy * t.nx) + ix in
+          t.bins.(i) <- key :: t.bins.(i)
+      done
+    done
+  end
+
+let mem t key = key >= 0 && key < Array.length t.present && t.present.(key)
+
+let rect_of t key =
+  if not (mem t key) then invalid_arg "Spatial.rect_of: key not present";
+  t.rects.(key)
+
+let next_stamp t =
+  (* Wraparound safety: re-zero the stamp array on the (never in practice)
+     overflow of the monotonic counter. *)
+  if t.stamp = max_int then begin
+    Array.fill t.seen 0 (Array.length t.seen) 0;
+    t.stamp <- 0
+  end;
+  t.stamp <- t.stamp + 1;
+  t.stamp
+
+let iter_query t rect f =
+  let stamp = next_stamp t in
+  let ix0, ix1, iy0, iy1 = bin_range t rect in
+  for iy = iy0 to iy1 do
+    for ix = ix0 to ix1 do
       List.iter
-        (fun e ->
-          if Rect.touches e.rect rect && not (Hashtbl.mem seen e.key) then (
-            Hashtbl.add seen e.key ();
-            acc := e.key :: !acc))
-        t.bins.(i));
+        (fun key ->
+          if t.seen.(key) <> stamp then begin
+            t.seen.(key) <- stamp;
+            if Rect.touches t.rects.(key) rect then f key
+          end)
+        t.bins.((iy * t.nx) + ix)
+    done
+  done
+
+let query t rect =
+  let acc = ref [] in
+  iter_query t rect (fun key -> acc := key :: !acc);
   !acc
 
 (* The owner bin of a touching pair is the smallest-index bin common to both
@@ -77,18 +183,20 @@ let owner_bin t a b =
 
 let iter_pairs t f =
   Array.iteri
-    (fun bin entries ->
+    (fun bin keys ->
       let rec go = function
         | [] -> ()
-        | e :: rest ->
+        | k :: rest ->
+            let rk = t.rects.(k) in
             List.iter
-              (fun e' ->
-                if Rect.touches e.rect e'.rect && owner_bin t e.rect e'.rect = bin
-                then f e.key e.rect e'.key e'.rect)
+              (fun k' ->
+                let rk' = t.rects.(k') in
+                if Rect.touches rk rk' && owner_bin t rk rk' = bin then
+                  f k rk k' rk')
               rest;
             go rest
       in
-      go entries)
+      go keys)
     t.bins
 
 let length t = t.count

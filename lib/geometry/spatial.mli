@@ -1,30 +1,48 @@
-(** Uniform-grid spatial index over integer rectangles.
+(** Uniform-grid spatial index over integer rectangles, int-keyed.
 
     The overlap penalty [C2] only needs the pairs of cells whose expanded
-    bounding boxes intersect; with tens of cells a quadratic scan would do,
-    but the index keeps move evaluation O(neighbours) and is reused by the
-    channel-definition empty-space test. *)
+    bounding boxes intersect; the index keeps move evaluation O(local
+    density) instead of O(cells).  Keys are small non-negative integers
+    (cell indices): per-key state lives in flat arrays, queries
+    deduplicate with a per-key stamp array (no allocation on the
+    [iter_query] path), and moving an entry only touches the bins in the
+    symmetric difference of its old and new bin ranges. *)
 
-type 'a t
+type t
 
-val create : world:Rect.t -> cell_size:int -> 'a t
+val create : world:Rect.t -> cell_size:int -> t
 (** [create ~world ~cell_size] indexes rectangles clipped against [world];
     objects extending outside [world] are clamped into the boundary bins so
     they are still found.  [cell_size] must be positive. *)
 
-val insert : 'a t -> 'a -> Rect.t -> unit
-(** Multiple inserts of the same key accumulate; pair with [remove]. *)
+val insert : t -> int -> Rect.t -> unit
+(** Adds a key with its rectangle.  Keys are non-negative and unique:
+    raises [Invalid_argument] on a negative or already-present key. *)
 
-val remove : 'a t -> 'a -> Rect.t -> unit
-(** Removes one occurrence of [key] previously inserted with the same
-    rectangle.  Raises [Invalid_argument] if absent. *)
+val remove : t -> int -> unit
+(** Removes a key.  Raises [Invalid_argument] if absent. *)
 
-val query : 'a t -> Rect.t -> 'a list
-(** All keys whose insertion rectangle intersects (touching counts) the query
+val update : t -> int -> Rect.t -> unit
+(** Replaces the rectangle of a present key.  O(1) when the new rectangle
+    covers the same grid bins; otherwise touches only the bins entering or
+    leaving the key's range.  Raises [Invalid_argument] if absent. *)
+
+val mem : t -> int -> bool
+
+val rect_of : t -> int -> Rect.t
+(** Current rectangle of a present key; raises [Invalid_argument] if
+    absent. *)
+
+val query : t -> Rect.t -> int list
+(** All keys whose rectangle intersects (touching counts) the query
     rectangle; deduplicated, order unspecified. *)
 
-val iter_pairs : 'a t -> ('a -> Rect.t -> 'a -> Rect.t -> unit) -> unit
+val iter_query : t -> Rect.t -> (int -> unit) -> unit
+(** [query] without building the result list: calls [f] once per touching
+    key.  Allocation-free; this is the move-evaluation hot path. *)
+
+val iter_pairs : t -> (int -> Rect.t -> int -> Rect.t -> unit) -> unit
 (** Visits every unordered pair of distinct stored objects whose rectangles
     touch, exactly once. *)
 
-val length : 'a t -> int
+val length : t -> int

@@ -43,20 +43,22 @@ let make_ctx ?(allow_orient = true) ?(allow_variant = true)
     allow_variant;
     prob_displacement = (if interchanges then r /. (r +. 1.0) else 1.0) }
 
-(* Run [mutate] on the cells in [touched], Metropolis-test the cost change,
-   and roll back on rejection.  Returns acceptance. *)
-let trial ctx rng ~temp ~touched ~mutate =
-  let cost0 = Placement.total_cost ctx.p in
-  let gsnap = Placement.snapshot_cost ctx.p in
-  let csnaps = List.map (Placement.snapshot_cell ctx.p) touched in
-  mutate ();
-  let delta = Placement.total_cost ctx.p -. cost0 in
-  if Anneal.metropolis rng ~t:temp ~delta then true
-  else begin
-    List.iter (Placement.restore_cell ctx.p) csnaps;
-    Placement.restore_cost ctx.p gsnap;
-    false
+(* Metropolis-test [moves] on their evaluated cost change and commit only
+   on acceptance.  Rejected proposals — the vast majority at low
+   temperature — never mutate the placement, its net caches or the spatial
+   index.  [Placement.delta_cost] computes the same float the old
+   mutate-then-difference trial produced, so acceptance decisions and RNG
+   consumption are unchanged.  Returns acceptance. *)
+let trial ctx rng ~temp ~moves =
+  let delta = Placement.delta_cost ctx.p moves in
+  if Anneal.metropolis rng ~t:temp ~delta then begin
+    List.iter (Placement.apply_move ctx.p) moves;
+    true
   end
+  else false
+
+let cell_move ?x ?y ?orient ?variant ?sites ci =
+  Placement.Cell_move { ci; x; y; orient; variant; sites }
 
 let random_cell ctx rng = Rng.int_incl rng 0 (Netlist.n_cells (Placement.netlist ctx.p) - 1)
 
@@ -70,39 +72,33 @@ let target_of_step ctx ci (dx, dy) =
 
 (* A_1(i, x, y): displacement at current orientation. *)
 let attempt_displacement ctx rng ~temp ~cell ~x ~y =
-  trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
-      Placement.set_cell ctx.p cell ~x ~y ())
+  trial ctx rng ~temp ~moves:[ cell_move ~x ~y cell ]
 
 (* A'(i, x, y): displacement with the aspect ratio inverted (Fig 2). *)
 let attempt_displacement_inverted ctx rng ~temp ~cell ~x ~y =
   let o = Placement.cell_orient ctx.p cell in
   let o' = Orient.aspect_inversion_of o in
-  trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
-      Placement.set_cell ctx.p cell ~x ~y ~orient:o' ())
+  trial ctx rng ~temp ~moves:[ cell_move ~x ~y ~orient:o' cell ]
 
 (* A_0(i): random in-place orientation change. *)
 let attempt_orient ctx rng ~temp ~cell =
   let o = Placement.cell_orient ctx.p cell in
   let candidates = List.filter (fun o' -> not (Orient.equal o o')) Orient.all in
   let o' = Rng.pick_list rng candidates in
-  trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
-      Placement.set_cell ctx.p cell ~orient:o' ())
+  trial ctx rng ~temp ~moves:[ cell_move ~orient:o' cell ]
 
 (* A_2(i, j): pairwise interchange of cell centers. *)
 let attempt_interchange ctx rng ~temp ~i ~j ~invert =
   let xi, yi = Placement.cell_pos ctx.p i
   and xj, yj = Placement.cell_pos ctx.p j in
-  trial ctx rng ~temp ~touched:[ i; j ] ~mutate:(fun () ->
-      if invert then begin
-        let oi = Orient.aspect_inversion_of (Placement.cell_orient ctx.p i)
-        and oj = Orient.aspect_inversion_of (Placement.cell_orient ctx.p j) in
-        Placement.set_cell ctx.p i ~x:xj ~y:yj ~orient:oi ();
-        Placement.set_cell ctx.p j ~x:xi ~y:yi ~orient:oj ()
-      end
-      else begin
-        Placement.set_cell ctx.p i ~x:xj ~y:yj ();
-        Placement.set_cell ctx.p j ~x:xi ~y:yi ()
-      end)
+  let moves =
+    if invert then
+      let oi = Orient.aspect_inversion_of (Placement.cell_orient ctx.p i)
+      and oj = Orient.aspect_inversion_of (Placement.cell_orient ctx.p j) in
+      [ cell_move ~x:xj ~y:yj ~orient:oi i; cell_move ~x:xi ~y:yi ~orient:oj j ]
+    else [ cell_move ~x:xj ~y:yj i; cell_move ~x:xi ~y:yi j ]
+  in
+  trial ctx rng ~temp ~moves
 
 (* A_p(i): reassign one pin group or lone pin to fresh sites. *)
 let attempt_pin_move ctx rng ~temp ~cell =
@@ -116,33 +112,33 @@ let attempt_pin_move ctx rng ~temp ~cell =
   else begin
     let variant = Placement.cell_variant ctx.p cell in
     let choice = Rng.int_incl rng 0 (n_choices - 1) in
-    let current = ref None in
-    let mutate () =
-      let sites =
-        Array.init (Cell.n_pins c) (fun p ->
-            Placement.site_of_pin ctx.p ~cell ~pin:p)
-      in
-      (if choice < n_groups then begin
-         let _, members = List.nth groups choice in
-         match members with
-         | [] -> ()
-         | first :: _ -> (
-             match Cell.allowed_sites c ~variant first with
-             | [] -> ()
-             | allowed ->
-                 let anchor = Rng.pick_list rng allowed in
-                 Sites.assign_group c ~variant ~members ~anchor_site:anchor
-                   ~sites)
-       end
-       else
-         let pin = List.nth lone (choice - n_groups) in
-         match Cell.allowed_sites c ~variant pin with
-         | [] -> ()
-         | allowed -> sites.(pin) <- Rng.pick_list rng allowed);
-      current := Some sites;
-      Placement.set_cell_sites ctx.p cell sites
+    (* The site picks draw from the RNG while building the proposal —
+       before the Metropolis draw, exactly where the old mutate closure
+       drew them. *)
+    let sites =
+      Array.init (Cell.n_pins c) (fun p ->
+          Placement.site_of_pin ctx.p ~cell ~pin:p)
     in
-    let accepted = trial ctx rng ~temp ~touched:[ cell ] ~mutate in
+    (if choice < n_groups then begin
+       let _, members = List.nth groups choice in
+       match members with
+       | [] -> ()
+       | first :: _ -> (
+           match Cell.allowed_sites c ~variant first with
+           | [] -> ()
+           | allowed ->
+               let anchor = Rng.pick_list rng allowed in
+               Sites.assign_group c ~variant ~members ~anchor_site:anchor
+                 ~sites)
+     end
+     else
+       let pin = List.nth lone (choice - n_groups) in
+       match Cell.allowed_sites c ~variant pin with
+       | [] -> ()
+       | allowed -> sites.(pin) <- Rng.pick_list rng allowed);
+    let accepted =
+      trial ctx rng ~temp ~moves:[ Placement.Sites_move { ci = cell; sites } ]
+    in
     if accepted then ctx.stats.pin_moves <- ctx.stats.pin_moves + 1;
     accepted
   end
@@ -161,10 +157,7 @@ let attempt_variant ctx rng ~temp ~cell =
       else if Rng.bool_with_prob rng 0.5 then v - 1
       else v + 1
     in
-    let accepted =
-      trial ctx rng ~temp ~touched:[ cell ] ~mutate:(fun () ->
-          Placement.set_cell ctx.p cell ~variant:v' ())
-    in
+    let accepted = trial ctx rng ~temp ~moves:[ cell_move ~variant:v' cell ] in
     if accepted then ctx.stats.variant_changes <- ctx.stats.variant_changes + 1;
     accepted
   end

@@ -97,7 +97,12 @@ val teil : t -> float
 
 val cell_overlap : t -> int -> float
 (** This cell's expanded-tile overlap against all others and the core
-    boundary. *)
+    boundary, enumerated through the spatial index (O(local density)). *)
+
+val cell_overlap_scan : t -> int -> float
+(** Same total as {!cell_overlap} via the pre-index full scan over all
+    cells; reference implementation for benchmarks and differential
+    tests. *)
 
 val chip_bbox : t -> Twmc_geometry.Rect.t
 (** Bounding box of all expanded tiles — the effective chip extent. *)
@@ -115,6 +120,34 @@ val drift_report : t -> (string * float * float) list
 val verify_consistency : t -> unit
 (** Asserts {!drift_report} is empty, raising [Failure] on the first
     drifting term; test hook. *)
+
+val verify_index : t -> unit
+(** Asserts the embedded spatial index matches the cell bboxes and answers
+    queries identically to a from-scratch rebuild; raises [Failure]. *)
+
+(** {2 Evaluate-without-apply} *)
+
+type move =
+  | Cell_move of {
+      ci : int;
+      x : int option;
+      y : int option;
+      orient : Twmc_geometry.Orient.t option;
+      variant : int option;
+      sites : int array option;
+    }  (** Mirrors the optional arguments of {!set_cell}. *)
+  | Sites_move of { ci : int; sites : int array }
+      (** Mirrors {!set_cell_sites}. *)
+
+val delta_cost : t -> move list -> float
+(** Cost change of applying the moves in order, without mutating anything.
+    Bit-identical to applying them and differencing {!total_cost} — the
+    same accumulator chains run in the same order on the same operands —
+    so Metropolis decisions (and RNG consumption) are unchanged versus the
+    mutate-and-restore trial this enables replacing. *)
+
+val apply_move : t -> move -> unit
+(** Commits one move through {!set_cell}/{!set_cell_sites}. *)
 
 (** {2 Trial support} *)
 

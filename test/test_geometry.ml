@@ -373,11 +373,70 @@ let test_spatial_basics () =
   Alcotest.(check (list int))
     "query both" [ 1; 2 ]
     (List.sort compare (Spatial.query idx (r ~x0:0 ~y0:0 ~x1:100 ~y1:100)));
-  Spatial.remove idx 1 (r ~x0:5 ~y0:5 ~x1:15 ~y1:15);
+  Spatial.remove idx 1;
   check "count after remove" 1 (Spatial.length idx);
   Alcotest.check_raises "remove absent"
-    (Invalid_argument "Spatial.remove: entry not present") (fun () ->
-      Spatial.remove idx 1 (r ~x0:5 ~y0:5 ~x1:15 ~y1:15))
+    (Invalid_argument "Spatial.remove: key not present") (fun () ->
+      Spatial.remove idx 1)
+
+let test_spatial_update () =
+  let world = r ~x0:0 ~y0:0 ~x1:100 ~y1:100 in
+  let idx = Spatial.create ~world ~cell_size:10 in
+  Spatial.insert idx 0 (r ~x0:5 ~y0:5 ~x1:15 ~y1:15);
+  Spatial.insert idx 1 (r ~x0:80 ~y0:80 ~x1:90 ~y1:90);
+  (* Same-bin update: rectangle changes, bins do not. *)
+  Spatial.update idx 0 (r ~x0:6 ~y0:6 ~x1:14 ~y1:14);
+  Alcotest.(check bool)
+    "rect_of reflects update" true
+    (Rect.equal (Spatial.rect_of idx 0) (r ~x0:6 ~y0:6 ~x1:14 ~y1:14));
+  Alcotest.(check (list int))
+    "old position still found (same bins)" [ 0 ]
+    (List.sort compare (Spatial.query idx (r ~x0:0 ~y0:0 ~x1:20 ~y1:20)));
+  (* Cross-bin move: must disappear from the old range and appear in the
+     new one. *)
+  Spatial.update idx 0 (r ~x0:70 ~y0:70 ~x1:78 ~y1:78);
+  Alcotest.(check (list int))
+    "gone from old bins" []
+    (Spatial.query idx (r ~x0:0 ~y0:0 ~x1:20 ~y1:20));
+  Alcotest.(check (list int))
+    "found in new bins" [ 0; 1 ]
+    (List.sort compare (Spatial.query idx (r ~x0:65 ~y0:65 ~x1:95 ~y1:95)));
+  check "count unchanged by updates" 2 (Spatial.length idx);
+  Alcotest.check_raises "update absent"
+    (Invalid_argument "Spatial.update: key not present") (fun () ->
+      Spatial.update idx 7 (r ~x0:0 ~y0:0 ~x1:1 ~y1:1))
+
+(* Random churn: a sequence of inserts/updates/removes must leave queries
+   agreeing with a brute-force scan of the live rectangles. *)
+let prop_spatial_update_query =
+  QCheck.Test.make ~name:"update/query matches brute force" ~count:60
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 40) (QCheck.pair arb_rect arb_rect))
+    (fun ops ->
+      let world = r ~x0:(-100) ~y0:(-100) ~x1:100 ~y1:100 in
+      let idx = Spatial.create ~world ~cell_size:16 in
+      let live = Hashtbl.create 16 in
+      List.iteri
+        (fun i (r0, r1) ->
+          Spatial.insert idx i r0;
+          Hashtbl.replace live i r0;
+          if i mod 2 = 0 then begin
+            Spatial.update idx i r1;
+            Hashtbl.replace live i r1
+          end;
+          if i mod 5 = 4 then begin
+            Spatial.remove idx i;
+            Hashtbl.remove live i
+          end)
+        ops;
+      let probe = r ~x0:(-40) ~y0:(-40) ~x1:40 ~y1:40 in
+      let got = List.sort compare (Spatial.query idx probe) in
+      let expected =
+        Hashtbl.fold
+          (fun k rc acc -> if Rect.touches rc probe then k :: acc else acc)
+          live []
+        |> List.sort compare
+      in
+      got = expected && Spatial.length idx = Hashtbl.length live)
 
 let prop_spatial_pairs =
   QCheck.Test.make ~name:"iter_pairs matches brute force" ~count:100
@@ -436,4 +495,5 @@ let () =
         qt [ prop_shape_boundary_balance; prop_shape_transform_area ] );
       ( "spatial",
         Alcotest.test_case "basics" `Quick test_spatial_basics
-        :: qt [ prop_spatial_pairs ] ) ]
+        :: Alcotest.test_case "update" `Quick test_spatial_update
+        :: qt [ prop_spatial_pairs; prop_spatial_update_query ] ) ]

@@ -149,6 +149,172 @@ let test_per_move_terms () =
     checkb (Printf.sprintf "move %d TEIL" i) true (close teil (Placement.teil p))
   done
 
+(* Satellite: the spatially-indexed overlap enumeration vs the full scan.
+   Both sum exact integer areas, so agreement must be exact equality, not
+   within-tolerance; and the embedded index must answer queries identically
+   to a from-scratch rebuild ([Placement.verify_index]). *)
+let index_vs_scan_run seed =
+  let rng = Rng.create ~seed in
+  let spec = random_spec rng in
+  let nl = Synth.generate ~seed:(Rng.int_incl rng 0 9999) spec in
+  let sizing =
+    Twmc_estimator.Core_area.determine ~beta:Params.default.Params.beta
+      ~aspect:1.0 ~fill_target:0.6 nl
+  in
+  let core =
+    centered_core ~w:sizing.Twmc_estimator.Core_area.core_w
+      ~h:sizing.Twmc_estimator.Core_area.core_h
+  in
+  let est =
+    Twmc_estimator.Dynamic_area.create ~beta:Params.default.Params.beta
+      ~core_w:(Rect.width core) ~core_h:(Rect.height core) nl
+  in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:(Placement.Dynamic est) ~rng nl
+  in
+  Placement.set_p2 p 0.5;
+  let limiter = Range_limiter.of_core ~rho:4.0 ~t_inf:1e4 ~core ~min_window:6 in
+  let ctx =
+    Moves.make_ctx ~placement:p ~limiter ~stats:(Moves.make_stats ()) ()
+  in
+  let n = Twmc_netlist.Netlist.n_cells nl in
+  let check_point what =
+    for ci = 0 to n - 1 do
+      let a = Placement.cell_overlap p ci
+      and b = Placement.cell_overlap_scan p ci in
+      if a <> b then
+        Alcotest.failf "%s: cell %d overlap indexed=%.17g scan=%.17g" what ci
+          a b
+    done;
+    Placement.verify_index p
+  in
+  check_point (Printf.sprintf "seed %d initial" seed);
+  for i = 1 to 200 do
+    let temp = if i mod 2 = 0 then 1e4 else 1e-3 in
+    Moves.generate ctx rng ~temp;
+    if i mod 25 = 0 then check_point (Printf.sprintf "seed %d move %d" seed i)
+  done;
+  (* A core resize and an expander swap both force an index rebuild. *)
+  Placement.set_core p
+    (Rect.make ~x0:(core.Rect.x0 - 7) ~y0:(core.Rect.y0 - 7)
+       ~x1:(core.Rect.x1 + 11) ~y1:(core.Rect.y1 + 11));
+  check_point (Printf.sprintf "seed %d after set_core" seed);
+  Placement.set_expander p (Placement.Static (Array.make n (2, 2, 2, 2)));
+  check_point (Printf.sprintf "seed %d after set_expander" seed);
+  for i = 1 to 100 do
+    Moves.generate ctx rng ~temp:(if i mod 2 = 0 then 1e4 else 1e-3)
+  done;
+  check_point (Printf.sprintf "seed %d final" seed)
+
+let test_index_vs_scan () = List.iter index_vs_scan_run [ 11; 22; 33 ]
+
+(* Satellite: [Placement.delta_cost] must equal apply-and-difference
+   bit-for-bit (same accumulator chains on the same operands), over every
+   move kind — displace, displace+orient, in-place orient, interchange,
+   variant and pin-site moves, through both the [Sites_move] constructor
+   and the sites-only [Cell_move] routing. *)
+let test_delta_vs_apply () =
+  let rng = Rng.create ~seed:909 in
+  let nl =
+    Synth.generate ~seed:17
+      { Synth.default_spec with
+        Synth.n_cells = 10;
+        n_nets = 30;
+        n_pins = 80;
+        frac_custom = 0.6;
+        frac_rectilinear = 0.4 }
+  in
+  let core = centered_core ~w:300 ~h:300 in
+  let est =
+    Twmc_estimator.Dynamic_area.create ~beta:Params.default.Params.beta
+      ~core_w:(Rect.width core) ~core_h:(Rect.height core) nl
+  in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:(Placement.Dynamic est) ~rng nl
+  in
+  Placement.set_p2 p 0.7;
+  let n = Twmc_netlist.Netlist.n_cells nl in
+  let cm ?x ?y ?orient ?variant ?sites ci =
+    Placement.Cell_move { ci; x; y; orient; variant; sites }
+  in
+  let checked = ref 0 in
+  let check_move what moves =
+    let d = Placement.delta_cost p moves in
+    let t0 = Placement.total_cost p in
+    List.iter (Placement.apply_move p) moves;
+    let t1 = Placement.total_cost p in
+    let measured = t1 -. t0 in
+    if Int64.bits_of_float d <> Int64.bits_of_float measured then
+      Alcotest.failf "%s: delta_cost %.17g <> measured %.17g" what d measured;
+    incr checked
+  in
+  let rand_pos () =
+    ( Rng.int_incl rng core.Rect.x0 core.Rect.x1,
+      Rng.int_incl rng core.Rect.y0 core.Rect.y1 )
+  in
+  let module Cell = Twmc_netlist.Cell in
+  let module Pin = Twmc_netlist.Pin in
+  let module Orient = Twmc_geometry.Orient in
+  let random_sites ci =
+    (* Current assignment with one random uncommitted pin reassigned. *)
+    let c = nl.Twmc_netlist.Netlist.cells.(ci) in
+    let variant = Placement.cell_variant p ci in
+    let sites =
+      Array.init (Cell.n_pins c) (fun pin ->
+          Placement.site_of_pin p ~cell:ci ~pin)
+    in
+    let uncommitted = ref [] in
+    Array.iteri
+      (fun pi pin -> if not (Pin.is_committed pin) then uncommitted := pi :: !uncommitted)
+      c.Cell.pins;
+    match !uncommitted with
+    | [] -> None
+    | l -> (
+        let pin = List.nth l (Rng.int_incl rng 0 (List.length l - 1)) in
+        match Cell.allowed_sites c ~variant pin with
+        | [] -> None
+        | allowed ->
+            sites.(pin) <- Rng.pick_list rng allowed;
+            Some sites)
+  in
+  for i = 1 to 40 do
+    let ci = Rng.int_incl rng 0 (n - 1) in
+    let x, y = rand_pos () in
+    check_move "displace" [ cm ~x ~y ci ];
+    let o = Rng.pick_list rng Orient.all in
+    check_move "orient" [ cm ~orient:o ci ];
+    let x, y = rand_pos () in
+    let o = Rng.pick_list rng Orient.all in
+    check_move "displace+orient" [ cm ~x ~y ~orient:o ci ];
+    let cj = Rng.int_incl rng 0 (n - 1) in
+    if cj <> ci then begin
+      let xi, yi = Placement.cell_pos p ci
+      and xj, yj = Placement.cell_pos p cj in
+      check_move "interchange" [ cm ~x:xj ~y:yj ci; cm ~x:xi ~y:yi cj ]
+    end;
+    let c = nl.Twmc_netlist.Netlist.cells.(ci) in
+    if Cell.n_variants c > 1 then begin
+      let v' = Rng.int_incl rng 0 (Cell.n_variants c - 1) in
+      check_move "variant" [ cm ~variant:v' ci ]
+    end;
+    (match random_sites ci with
+    | Some sites ->
+        check_move "sites" [ Placement.Sites_move { ci; sites } ]
+    | None -> ());
+    (match random_sites ci with
+    | Some sites ->
+        (* The sites-only Cell_move must route through the same fast path. *)
+        check_move "sites-via-cell-move" [ cm ~sites ci ]
+    | None -> ());
+    (* Swap expanders mid-run: the delta path must track both models. *)
+    if i = 20 then
+      Placement.set_expander p (Placement.Static (Array.make n (3, 3, 3, 3)))
+  done;
+  checkb "coverage: enough move kinds exercised" true (!checked > 150);
+  assert_no_drift ~what:"delta-vs-apply end" p
+
 let () =
   Alcotest.run "incremental"
     [ ( "differential",
@@ -157,4 +323,8 @@ let () =
           Alcotest.test_case "500 moves, 3 more netlists" `Slow
             test_differential_more_seeds;
           Alcotest.test_case "per-move term agreement" `Quick
-            test_per_move_terms ] ) ]
+            test_per_move_terms;
+          Alcotest.test_case "indexed overlap vs full scan" `Quick
+            test_index_vs_scan;
+          Alcotest.test_case "delta_cost vs apply-and-measure" `Quick
+            test_delta_vs_apply ] ) ]
