@@ -484,6 +484,221 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce a table or figure from the paper")
     Term.(const run $ which $ profile $ csv_dir)
 
+(* ----------------------------------------------------------------- qa *)
+
+(* Exit code 6: the QA harness found a failure (fuzz case, corpus replay,
+   or golden drift) — distinct from the flow's own 3/4/5 statuses. *)
+let exit_qa_failure = 6
+
+let qa_fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; fixed (seed, iters) replays identically.")
+  in
+  let iters =
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N"
+           ~doc:"Number of random cases to run.")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Save shrunk reproducers of any failure here.")
+  in
+  let time_limit =
+    Arg.(value & opt (some float) None
+         & info [ "time-limit" ] ~docv:"SECS"
+             ~doc:"Stop the campaign after this much wall clock.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress the per-case progress line.")
+  in
+  let run seed iters corpus time_limit quiet =
+    let progress i c outcome =
+      if not quiet then
+        Format.printf "case %d: %a -> %a@." i Twmc_qa.Fuzz_case.pp c
+          Twmc_qa.Runner.pp_outcome outcome
+    in
+    let report =
+      Twmc_qa.Fuzz.campaign ?corpus_dir:corpus ?time_limit_s:time_limit
+        ~progress ~seed ~iters ()
+    in
+    Format.printf "%a@." Twmc_qa.Fuzz.pp_report report;
+    exit (if report.Twmc_qa.Fuzz.failures = [] then 0 else exit_qa_failure)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Drive random adversarial circuits through the resilient flow, \
+          checking the metamorphic oracle pack, determinism across --jobs \
+          and budget compliance; failures are shrunk to minimal \
+          reproducers.  Exit 0 when every case passes, 6 otherwise.")
+    Term.(const run $ seed $ iters $ corpus $ time_limit $ quiet)
+
+let qa_replay_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE|DIR"
+           ~doc:"A case file or a corpus directory.")
+  in
+  let run target =
+    if not (Sys.file_exists target) then begin
+      Printf.eprintf "%s: no such file or directory\n" target;
+      exit exit_invalid
+    end;
+    let cases =
+      if Sys.is_directory target then Twmc_qa.Corpus.load_dir target
+      else
+        match Twmc_qa.Corpus.load_file target with
+        | Ok c -> [ (target, c) ]
+        | Error m ->
+            Printf.eprintf "%s: %s\n" target m;
+            exit exit_invalid
+    in
+    if cases = [] then Format.printf "no cases under %s@." target;
+    let failed = ref 0 in
+    List.iter
+      (fun (path, c) ->
+        let outcome = Twmc_qa.Runner.run c in
+        (match outcome with
+        | Twmc_qa.Runner.Failed _ -> incr failed
+        | _ -> ());
+        Format.printf "%s: %a@." path Twmc_qa.Runner.pp_outcome outcome)
+      cases;
+    exit (if !failed = 0 then 0 else exit_qa_failure)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run saved fuzz case(s); still-failing entries are open bugs.  \
+          Exit 0 when everything passes, 6 otherwise.")
+    Term.(const run $ target)
+
+let qa_shrink_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    match Twmc_qa.Corpus.load_file file with
+    | Error m ->
+        Printf.eprintf "%s: %s\n" file m;
+        exit exit_invalid
+    | Ok c -> (
+        match Twmc_qa.Runner.run c with
+        | Twmc_qa.Runner.Failed kinds ->
+            let key = Twmc_qa.Runner.failure_key (List.hd kinds) in
+            let shrunk, steps =
+              Twmc_qa.Shrink.shrink ~run:Twmc_qa.Runner.run ~key c
+            in
+            Format.printf "%d shrink step(s), failure key %s@." steps key;
+            print_string (Twmc_qa.Fuzz_case.to_string shrunk);
+            exit 0
+        | o ->
+            Format.printf "case does not fail (%a); nothing to shrink@."
+              Twmc_qa.Runner.pp_outcome o;
+            exit exit_invalid)
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Minimize a failing case while preserving its failure key; prints \
+          the shrunk case to stdout.")
+    Term.(const run $ file)
+
+let golden_dirs_term =
+  let golden_dir =
+    Arg.(value & opt string "test/golden"
+         & info [ "golden-dir" ] ~docv:"DIR")
+  in
+  let netlists_dir =
+    Arg.(value & opt string "examples/netlists"
+         & info [ "netlists-dir" ] ~docv:"DIR"
+             ~doc:"Where the example .twn circuits live.")
+  in
+  Term.(const (fun g n -> (g, n)) $ golden_dir $ netlists_dir)
+
+(* The golden targets read the example circuits lazily; surface a missing
+   directory or netlist as a diagnostic, never a backtrace. *)
+let golden_load name load =
+  try load ()
+  with Sys_error m | Failure m ->
+    Printf.eprintf "%s: %s\n" name m;
+    exit exit_invalid
+
+let qa_bless_cmd =
+  let run (golden_dir, netlists_dir) =
+    List.iter
+      (fun (name, load) ->
+        let g = Twmc_qa.Golden.capture ~name (golden_load name load) in
+        let path = Filename.concat golden_dir (name ^ ".golden") in
+        if not (Sys.file_exists golden_dir) then Sys.mkdir golden_dir 0o755;
+        Twmc_util.Atomic_io.write_string path (Twmc_qa.Golden.to_string g);
+        Format.printf "blessed %s (%d trace steps, status %s)@." path
+          (List.length g.Twmc_qa.Golden.trace)
+          g.Twmc_qa.Golden.status)
+      (Twmc_qa.Golden.targets ~netlists_dir);
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "bless"
+       ~doc:
+         "Run every golden target under the QA profile and overwrite the \
+          stored records — do this only when a behavior change is \
+          intended, and commit the result.")
+    Term.(const run $ golden_dirs_term)
+
+let qa_diff_cmd =
+  let run (golden_dir, netlists_dir) =
+    let drift = ref 0 in
+    List.iter
+      (fun (name, load) ->
+        let path = Filename.concat golden_dir (name ^ ".golden") in
+        if not (Sys.file_exists path) then begin
+          incr drift;
+          Format.printf "%s: no golden record at %s@." name path
+        end
+        else
+          match
+            Twmc_qa.Golden.of_string
+              (In_channel.with_open_text path In_channel.input_all)
+          with
+          | Error m ->
+              incr drift;
+              Format.printf "%s: unreadable golden: %s@." name m
+          | Ok expected -> (
+              let actual =
+                Twmc_qa.Golden.capture ~name (golden_load name load)
+              in
+              match Twmc_qa.Golden.diff ~expected ~actual with
+              | [] -> Format.printf "%s: ok@." name
+              | lines ->
+                  incr drift;
+                  Format.printf "%s: DRIFT@." name;
+                  List.iter (fun l -> Format.printf "  %s@." l) lines))
+      (Twmc_qa.Golden.targets ~netlists_dir);
+    if !drift > 0 then begin
+      Format.printf
+        "%d golden target(s) drifted.  If the change is intentional, %s@."
+        !drift Twmc_qa.Golden.rebless_hint;
+      exit exit_qa_failure
+    end;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Re-run every golden target and compare against the stored \
+          records.  Exit 0 when identical, 6 on drift (with a readable \
+          field-by-field diff).")
+    Term.(const run $ golden_dirs_term)
+
+let qa_cmd =
+  Cmd.group
+    (Cmd.info "qa"
+       ~doc:
+         "Correctness tooling: fuzzing with shrinking, metamorphic \
+          oracles, and the golden-trajectory store.")
+    [ qa_fuzz_cmd; qa_replay_cmd; qa_shrink_cmd; qa_bless_cmd; qa_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "twmc" ~version:"1.0.0"
@@ -494,4 +709,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group info
        [ gen_cmd; check_cmd; stats_cmd; place_cmd; flow_cmd; route_cmd;
-         draw_cmd; report_cmd; experiment_cmd ]))
+         draw_cmd; report_cmd; experiment_cmd; qa_cmd ]))

@@ -77,16 +77,18 @@ let record_series obs (r : result) =
    parallelism: replicas differ only in their split RNG streams).  The
    winner is chosen by cost with a lowest-index tie-break, so the outcome
    depends on [replicas] but never on [jobs]. *)
-let stage1_best ~params ?should_stop ?pool ?(obs = Obs.disabled) ~rng ~replicas
-    nl =
-  if replicas <= 1 then (Stage1.run ~params ?should_stop ~obs ~rng nl, None)
+let stage1_best ~params ?core ?should_stop ?pool ?(obs = Obs.disabled) ~rng
+    ~replicas nl =
+  if replicas <= 1 then
+    (Stage1.run ~params ?core ?should_stop ~obs ~rng nl, None)
   else
     let mr =
-      Stage1.run_best_of_k ~params ?should_stop ?pool ~obs ~rng ~k:replicas nl
+      Stage1.run_best_of_k ~params ?core ?should_stop ?pool ~obs ~rng
+        ~k:replicas nl
     in
     (mr.Stage1.best, Some mr)
 
-let run ?(params = Params.default) ?seed ?(jobs = 1) ?(replicas = 1)
+let run ?(params = Params.default) ?seed ?core ?(jobs = 1) ?(replicas = 1)
     ?(obs = Obs.disabled) nl =
   let seed = match seed with Some s -> s | None -> params.Params.seed in
   let rng = Twmc_sa.Rng.create ~seed in
@@ -103,7 +105,7 @@ let run ?(params = Params.default) ?seed ?(jobs = 1) ?(replicas = 1)
       with_optional_pool ~jobs ~obs (fun pool ->
           let s1, _ =
             Obs.span obs ~name:"stage1" (fun () ->
-                stage1_best ~params ?pool ~obs ~rng ~replicas nl)
+                stage1_best ~params ?core ?pool ~obs ~rng ~replicas nl)
           in
           let s2 = Stage2.run ~rng ?pool ~obs s1 in
           let r = assemble ~t0 nl s1 s2 in
@@ -125,7 +127,7 @@ type resilient_result = {
   retries_used : int;
 }
 
-let run_resilient ?(params = Params.default) ?seed ?(strict = false)
+let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
     ?time_budget_s ?(max_retries = 2) ?(jobs = 1) ?(replicas = 1)
     ?(obs = Obs.disabled) nl =
   let diags = ref [] in
@@ -181,7 +183,8 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
                  else [])
             @@ fun () ->
             let s1, multi =
-              stage1_best ~params ~should_stop ?pool ~obs ~rng ~replicas nl
+              stage1_best ~params ?core ~should_stop ?pool ~obs ~rng ~replicas
+                nl
             in
             (match multi with
             | Some mr ->
@@ -204,7 +207,7 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
             s1)
       in
       match outcome with
-      | Guard.Ok s1 -> Some (rng, s1)
+      | Guard.Ok s1 -> Ok (rng, s1)
       | Guard.Failed d ->
           add d;
           if attempt < max_retries && not (Guard.expired guard) then begin
@@ -216,11 +219,22 @@ let run_resilient ?(params = Params.default) ?seed ?(strict = false)
                     (base_seed + ((attempt + 1) * 7919))));
             stage1_attempt (attempt + 1)
           end
-          else None
+          else Error d
     in
     match stage1_attempt 0 with
-    | None -> finish None Degraded
-    | Some (rng, s1) ->
+    | Error last ->
+        (* Surface the root cause: the summary diagnostic carries the last
+           attempt's failing code so callers (and the CLI) see *why* stage 1
+           never succeeded, and a budget-driven exhaustion reports
+           [Timed_out] rather than a generic degradation. *)
+        add
+          (Diagnostic.make ~severity:Diagnostic.Error ~entity:"stage1"
+             ~code:"G405"
+             (Printf.sprintf
+                "stage 1 failed on all %d attempt(s); last failure: [%s] %s"
+                (!retries + 1) last.Diagnostic.code last.Diagnostic.message));
+        finish None (if Guard.expired guard then Timed_out else Degraded)
+    | Ok (rng, s1) ->
         let s2 = Stage2.run ~rng ~should_stop ~resilient:true ?pool ~obs s1 in
         addl s2.Stage2.diagnostics;
         let r = assemble ~t0 nl s1 s2 in

@@ -19,6 +19,7 @@ type result = {
 val run :
   ?params:Twmc_place.Params.t ->
   ?seed:int ->
+  ?core:Twmc_geometry.Rect.t ->
   ?jobs:int ->
   ?replicas:int ->
   ?obs:Twmc_obs.Ctx.t ->
@@ -26,6 +27,11 @@ val run :
   result
 (** [seed] (default the params' seed) drives every stochastic choice; runs
     are reproducible.
+
+    [core] overrides the stage-1 core region (default: sized by
+    {!Twmc_estimator.Core_area} and centered on the origin) — the QA
+    harness uses this to drive deliberately undersized or degenerate core
+    specs through the flow.
 
     [replicas] (default 1) runs stage 1 as that many independent annealing
     replicas — Sechen's seed-parallel multi-start — and keeps the placement
@@ -71,6 +77,7 @@ type resilient_result = {
 val run_resilient :
   ?params:Twmc_place.Params.t ->
   ?seed:int ->
+  ?core:Twmc_geometry.Rect.t ->
   ?strict:bool ->
   ?time_budget_s:float ->
   ?max_retries:int ->
@@ -85,10 +92,16 @@ val run_resilient :
     to [max_retries] (default 2) times on failure; stage 2 runs with
     checkpoint/rollback; [time_budget_s] converts both anneals into
     cooperatively-interruptible loops that return the best-so-far
-    configuration once the wall clock expires.  [jobs]/[replicas] behave as
-    in {!run}; when [replicas > 1] an Info diagnostic (G404) records every
-    replica's final cost and the winner.  The wall-clock guard is shared:
-    every replica polls the same budget.
+    configuration once the wall clock expires.  [core] behaves as in
+    {!run}.  [jobs]/[replicas] behave as in {!run}; when [replicas > 1] an
+    Info diagnostic (G404) records every replica's final cost and the
+    winner.  The wall-clock guard is shared: every replica polls the same
+    budget.
+
+    When stage 1 fails on every attempt, the result carries a [G405]
+    {e error} diagnostic naming the last attempt's failing code and message
+    (the root cause), and the status is [Timed_out] when the budget caused
+    the exhaustion, [Degraded] otherwise.
 
     [obs] behaves as in {!run}, with additionally a [flow.retries] counter,
     a per-attempt ["stage1"] span and a final ["flow.status"] point. *)

@@ -17,6 +17,15 @@ type temp_record = {
   window : float * float;
 }
 
+val normalize_p2 :
+  Twmc_sa.Rng.t -> Placement.t -> eta:float -> samples:int -> unit
+(** The Sec 3.1.2 normalization: sample [samples] random configurations and
+    set [p₂] so that [p₂·C₂ = η·C₁] over the ensemble ([p₂ = 1] when the
+    sampled overlap is zero).  Mutates the placement (the last sampled
+    configuration remains) and consumes [rng].  Exposed for the QA
+    metamorphic oracles: for identical rng streams, [p₂] is proportional
+    to [η]. *)
+
 type result = {
   placement : Placement.t;
   t_inf : float;

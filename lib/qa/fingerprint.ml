@@ -1,0 +1,64 @@
+module Placement = Twmc_place.Placement
+module Router = Twmc_route.Global_router
+module Netlist = Twmc_netlist.Netlist
+module Cell = Twmc_netlist.Cell
+module Orient = Twmc_geometry.Orient
+
+let hex s = Digest.to_hex (Digest.string s)
+
+let netlist nl = hex (Twmc_netlist.Writer.to_string nl)
+
+let placement p =
+  let b = Buffer.create 1024 in
+  let nl = Placement.netlist p in
+  let core = Placement.core p in
+  Buffer.add_string b
+    (Printf.sprintf "core %d %d %d %d\n" core.Twmc_geometry.Rect.x0
+       core.Twmc_geometry.Rect.y0 core.Twmc_geometry.Rect.x1
+       core.Twmc_geometry.Rect.y1);
+  Array.iteri
+    (fun ci (c : Cell.t) ->
+      let x, y = Placement.cell_pos p ci in
+      Buffer.add_string b
+        (Printf.sprintf "cell %d %d %d %d %d" ci x y
+           (Orient.to_int (Placement.cell_orient p ci))
+           (Placement.cell_variant p ci));
+      Array.iteri
+        (fun k _ ->
+          Buffer.add_string b
+            (Printf.sprintf " %d" (Placement.site_of_pin p ~cell:ci ~pin:k)))
+        c.Cell.pins;
+      Buffer.add_char b '\n')
+    nl.Netlist.cells;
+  hex (Buffer.contents b)
+
+let route (r : Router.result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "nodes %d edges %d length %d overflow %d initial %d\n"
+       (Twmc_channel.Graph.n_nodes r.Router.graph)
+       (Twmc_channel.Graph.n_edges r.Router.graph)
+       r.Router.total_length r.Router.overflow r.Router.initial_overflow);
+  List.iter
+    (fun (rn : Router.routed_net) ->
+      Buffer.add_string b
+        (Printf.sprintf "net %d len %d edges %s\n" rn.Router.net
+           rn.Router.route.Twmc_route.Steiner.length
+           (String.concat ","
+              (List.map string_of_int rn.Router.route.Twmc_route.Steiner.edges))))
+    r.Router.routed;
+  Buffer.add_string b
+    (Printf.sprintf "unroutable %s\n"
+       (String.concat "," (List.map string_of_int r.Router.unroutable)));
+  hex (Buffer.contents b)
+
+let flow (r : Twmc.Flow.result) =
+  let p = r.Twmc.Flow.stage2.Twmc.Stage2.placement in
+  hex
+    (Printf.sprintf "placement %s route %s c1 %.17g c2 %.17g c3 %.17g teil %.17g"
+       (placement p)
+       (match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
+       | Some rt -> route rt
+       | None -> "none")
+       (Placement.c1 p) (Placement.c2_raw p) (Placement.c3 p)
+       (Placement.teil p))

@@ -1,0 +1,19 @@
+(** Short, stable digests of flow artifacts.
+
+    The fuzzer compares runs at different [--jobs] settings and the golden
+    store pins final configurations; both need an equality that is cheap to
+    store and readable in a diff.  Digests are MD5 over a canonical textual
+    dump, so two values collide exactly when the dumped state is identical
+    (positions, orientations, variants, pin sites — for placements; edges,
+    lengths and densities — for routes). *)
+
+val netlist : Twmc_netlist.Netlist.t -> string
+(** Structure only: names, geometry, pins, nets and weights — independent
+    of any placement. *)
+
+val placement : Twmc_place.Placement.t -> string
+
+val route : Twmc_route.Global_router.result -> string
+
+val flow : Twmc.Flow.result -> string
+(** Placement and route digests plus the headline costs. *)

@@ -1,0 +1,50 @@
+(** A fuzz case: the complete, serializable recipe for one flow run.
+
+    A case captures everything needed to reproduce a run bit-for-bit — the
+    synthetic-circuit spec, the adversarial mutations layered on top, the
+    annealing effort, the core override and the execution knobs — in a
+    small record with a stable textual form.  The corpus stores these
+    files; the shrinker transforms them; [twmc qa replay] re-runs them. *)
+
+type t = {
+  seed : int;  (** Drives generation, mutation and the flow itself. *)
+  n_cells : int;
+  n_nets : int;
+  n_pins : int;
+  frac_custom : float;
+  frac_rectilinear : float;
+  mutations : Twmc_workload.Mutate.t list;  (** Applied left to right. *)
+  replicas : int;
+  jobs_check : bool;
+      (** Also run at [--jobs 2] and require a bit-identical result. *)
+  core_scale : float;
+      (** Scale on the auto-determined core; [0.] is a degenerate core. *)
+  a_c : int;  (** Annealing effort (attempted moves per cell per T). *)
+  time_budget_s : float option;
+}
+
+val default : t
+(** A small clean circuit: 8 cells, no mutations, no budget. *)
+
+val generate : rng:Twmc_sa.Rng.t -> t
+(** Draw a random case: sizes small enough that a run takes well under a
+    second, mutations and hostile knobs sampled with low probability each
+    so most cases stay near the interesting boundary between clean and
+    degenerate. *)
+
+val to_string : t -> string
+(** Stable [key value] lines; round-trips with {!of_string}. *)
+
+val of_string : string -> (t, string) result
+
+val netlist : t -> (Twmc_netlist.Netlist.t, string) result
+(** Realize the case: generate the synthetic circuit, then apply the
+    mutations.  [Error] when the mutated structure fails netlist
+    validation (rejected by construction — not a flow failure). *)
+
+val params : t -> Twmc_place.Params.t
+
+val core : t -> Twmc_netlist.Netlist.t -> Twmc_geometry.Rect.t option
+(** The core override implied by [core_scale]; [None] at scale 1. *)
+
+val pp : Format.formatter -> t -> unit

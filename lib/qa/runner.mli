@@ -1,0 +1,39 @@
+(** Execute one fuzz case and classify what happened.
+
+    The flow's contract under fuzzing: any input either runs to a
+    structured status (clean, degraded, invalid input, timed out) or is
+    rejected while being built — it never escapes an exception, never
+    violates a metamorphic oracle, never depends on [--jobs], and never
+    overshoots its wall-clock budget by more than a generous factor.
+    Anything else is a failure the shrinker can minimize. *)
+
+type failure_kind =
+  | Crash of string  (** The flow raised; carries the exception text. *)
+  | Oracle_violation of Oracle.failure
+  | Nondeterminism of string  (** [--jobs 2] diverged from [--jobs 1]. *)
+  | Budget_blowout of float
+      (** Wall-clock seconds actually spent against a small budget. *)
+
+type outcome =
+  | Passed of Twmc.Flow.status
+  | Rejected of string
+      (** The case never produced a valid netlist (mutation broke it). *)
+  | Failed of failure_kind list
+
+val failure_key : failure_kind -> string
+(** Equivalence class used by the shrinker: ["crash"],
+    ["oracle:<name>"], ["nondet"], ["budget"]. *)
+
+val outcome_keys : outcome -> string list
+(** The failure keys of a [Failed] outcome; [[]] otherwise. *)
+
+val run :
+  ?oracles:bool ->
+  ?extra_oracle:(Twmc.Flow.resilient_result -> Oracle.failure list) ->
+  Fuzz_case.t ->
+  outcome
+(** [oracles] (default true) runs the metamorphic pack on the flow result.
+    [extra_oracle] injects additional checks — the test suite uses it to
+    seed known-failing oracles and watch the shrinker converge. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,21 @@
+(** Correctness tooling: fuzzing, metamorphic oracles and the golden
+    store.
+
+    Three layers (DESIGN.md §12):
+    - {!Fuzz} / {!Fuzz_case} / {!Runner} / {!Shrink} / {!Corpus} — drive
+      adversarial synthetic circuits through the resilient flow,
+      classify crashes / invariant violations / nondeterminism / budget
+      blowouts, and minimize every failure to a replayable reproducer;
+    - {!Oracle} — expected-value-free properties every flow output must
+      satisfy;
+    - {!Golden} / {!Fingerprint} — pinned trajectories and digests for
+      named circuits, diffed in CI. *)
+
+module Fingerprint = Fingerprint
+module Oracle = Oracle
+module Fuzz_case = Fuzz_case
+module Runner = Runner
+module Shrink = Shrink
+module Corpus = Corpus
+module Golden = Golden
+module Fuzz = Fuzz

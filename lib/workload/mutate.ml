@@ -1,0 +1,272 @@
+open Twmc_geometry
+open Twmc_netlist
+module Rng = Twmc_sa.Rng
+
+type t =
+  | Sliver_macros of int
+  | Tiny_cells of int
+  | Duplicate_pins of int
+  | Pathological_aspect of int
+  | Heavy_net of int
+  | Near_disconnected
+
+let all_kinds =
+  [ Sliver_macros 3; Tiny_cells 3; Duplicate_pins 2; Pathological_aspect 2;
+    Heavy_net 6; Near_disconnected ]
+
+let to_string = function
+  | Sliver_macros n -> Printf.sprintf "sliver:%d" n
+  | Tiny_cells n -> Printf.sprintf "tiny:%d" n
+  | Duplicate_pins n -> Printf.sprintf "duppins:%d" n
+  | Pathological_aspect n -> Printf.sprintf "aspect:%d" n
+  | Heavy_net n -> Printf.sprintf "heavynet:%d" n
+  | Near_disconnected -> "bridge"
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "bridge" ] -> Some Near_disconnected
+  | [ kind; n ] -> (
+      match int_of_string_opt n with
+      | None -> None
+      | Some n -> (
+          match kind with
+          | "sliver" -> Some (Sliver_macros n)
+          | "tiny" -> Some (Tiny_cells n)
+          | "duppins" -> Some (Duplicate_pins n)
+          | "aspect" -> Some (Pathological_aspect n)
+          | "heavynet" -> Some (Heavy_net n)
+          | _ -> None))
+  | _ -> None
+
+(* ------------------------------------------------------------------ IR *)
+
+(* Mutations edit a builder-level intermediate form: per cell, a geometry
+   body plus the pin specs the Builder accepts.  Converting a netlist to
+   this form and back through [Builder.build] re-runs the full validation,
+   so a mutation cannot silently produce a structurally-broken netlist —
+   it either builds or raises [Invalid_argument]. *)
+type body =
+  | Macro of Shape.t
+  | Instances of Shape.t list
+  | Soft of { area : int; lo : float; hi : float }
+
+type cell_ir = {
+  cell_name : string;
+  mutable body : body;
+  mutable pins : Builder.pin_spec list;
+}
+
+let ir_of_netlist (nl : Netlist.t) =
+  let net_name i = nl.Netlist.nets.(i).Net.name in
+  Array.map
+    (fun (c : Cell.t) ->
+      let pins =
+        Array.to_list
+          (Array.map
+             (fun (p : Pin.t) ->
+               { Builder.pin_name = p.Pin.name;
+                 net_name = net_name p.Pin.net;
+                 equiv = p.Pin.equiv;
+                 group = p.Pin.group;
+                 seq = p.Pin.seq;
+                 where =
+                   (match p.Pin.loc with
+                   | Pin.Fixed (x, y) -> Builder.At (x, y)
+                   | Pin.Uncommitted r -> Builder.On r) })
+             c.Cell.pins)
+      in
+      let body =
+        match c.Cell.kind with
+        | Cell.Macro -> Macro (Cell.variant c 0).Cell.shape
+        | Cell.Custom ->
+            Instances
+              (List.init (Cell.n_variants c) (fun v ->
+                   (Cell.variant c v).Cell.shape))
+      in
+      { cell_name = c.Cell.name; body; pins })
+    nl.Netlist.cells
+
+let build_ir ~name ~track_spacing ~(weights : (string * float * float) list)
+    cells =
+  let b = Builder.create ~name ~track_spacing in
+  Array.iter
+    (fun c ->
+      match c.body with
+      | Macro shape -> Builder.add_macro b ~name:c.cell_name ~shape ~pins:c.pins
+      | Instances shapes ->
+          Builder.add_custom_instances b ~name:c.cell_name ~shapes ~pins:c.pins
+            ()
+      | Soft { area; lo; hi } ->
+          Builder.add_custom b ~name:c.cell_name ~area ~aspect_lo:lo
+            ~aspect_hi:hi ~pins:c.pins ())
+    cells;
+  (* Only re-attach weights for nets some pin still references — a mutation
+     may have deleted whole nets, and a dangling weight is a build error. *)
+  let live = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      List.iter (fun p -> Hashtbl.replace live p.Builder.net_name ()) c.pins)
+    cells;
+  List.iter
+    (fun (net, h, v) ->
+      if Hashtbl.mem live net then Builder.set_net_weight b ~net ~h ~v)
+    weights;
+  Builder.build b
+
+let weights_of (nl : Netlist.t) =
+  Array.to_list nl.Netlist.nets
+  |> List.filter_map (fun (n : Net.t) ->
+         if n.Net.hweight <> 1.0 || n.Net.vweight <> 1.0 then
+           Some (n.Net.name, n.Net.hweight, n.Net.vweight)
+         else None)
+
+(* Up to [n] distinct indices of [cells] satisfying [pred], in a
+   deterministic rng-shuffled order. *)
+let pick_cells rng cells ~n pred =
+  let candidates = ref [] in
+  Array.iteri (fun i c -> if pred c then candidates := i :: !candidates) cells;
+  let arr = Array.of_list (List.rev !candidates) in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
+
+let body_area = function
+  | Macro s -> Shape.area s
+  | Instances [] -> 16
+  | Instances (s :: _) -> Shape.area s
+  | Soft { area; _ } -> area
+
+let body_height = function
+  | Macro s -> Shape.height s
+  | Instances (s :: _) -> Shape.height s
+  | _ -> 8
+
+(* Re-express a pin inside the bounding box of a fresh [w]×[h] rectangle in
+   the builder's 0-based frame; old offsets are center-relative, so shift
+   then clamp. *)
+let clamp_pin ~w ~h = function
+  | Builder.At (x, y) ->
+      Builder.At
+        (max 0 (min w (x + (w / 2))), max 0 (min h (y + (h / 2))))
+  | Builder.On r -> Builder.On r
+
+let replace_shape cell ~w ~h =
+  cell.body <- Macro (Shape.rectangle ~w ~h);
+  cell.pins <-
+    List.map (fun p -> { p with Builder.where = clamp_pin ~w ~h p.Builder.where })
+      cell.pins
+
+let is_macro c = match c.body with Macro _ -> true | _ -> false
+
+let mutate_ir rng mutation cells =
+  match mutation with
+  | Sliver_macros n ->
+      List.iter
+        (fun i ->
+          let c = cells.(i) in
+          replace_shape c ~w:1 ~h:(max 4 (body_height c.body)))
+        (pick_cells rng cells ~n is_macro)
+  | Tiny_cells n ->
+      List.iter
+        (fun i -> replace_shape cells.(i) ~w:1 ~h:1)
+        (pick_cells rng cells ~n is_macro)
+  | Duplicate_pins n ->
+      List.iter
+        (fun i ->
+          let c = cells.(i) in
+          match c.pins with
+          | [] -> ()
+          | p :: _ -> c.pins <- c.pins @ [ p ])
+        (pick_cells rng cells ~n (fun c -> c.pins <> []))
+  | Pathological_aspect n ->
+      List.iter
+        (fun i ->
+          let c = cells.(i) in
+          c.body <-
+            Soft { area = max 16 (body_area c.body); lo = 0.05; hi = 20.0 };
+          c.pins <-
+            List.map
+              (fun p ->
+                { p with
+                  Builder.where =
+                    (match p.Builder.where with
+                    | Builder.On r -> Builder.On r
+                    | Builder.At _ -> Builder.On Pin.Any_edge) })
+              c.pins)
+        (pick_cells rng cells ~n (fun _ -> true))
+  | Heavy_net n ->
+      (* Grow the first net mentioned anywhere into a bus. *)
+      let bus =
+        Array.to_list cells
+        |> List.find_map (fun c ->
+               match c.pins with
+               | p :: _ -> Some p.Builder.net_name
+               | [] -> None)
+      in
+      (match bus with
+      | None -> ()
+      | Some net ->
+          List.iteri
+            (fun k i ->
+              let c = cells.(i) in
+              let where =
+                match c.body with
+                | Macro _ ->
+                    (* The variant frame is bbox-centered, so the origin is
+                       always inside the bounding box. *)
+                    (match c.pins with
+                    | { Builder.where = Builder.At (x, y); _ } :: _ ->
+                        Builder.At (x, y)
+                    | _ -> Builder.At (0, 0))
+                | _ -> Builder.On Pin.Any_edge
+              in
+              c.pins <-
+                c.pins
+                @ [ { Builder.pin_name = Printf.sprintf "qa_bus%d" k;
+                      net_name = net;
+                      equiv = None;
+                      group = None;
+                      seq = None;
+                      where } ])
+            (pick_cells rng cells ~n (fun _ -> true)))
+  | Near_disconnected ->
+      let n_cells = Array.length cells in
+      let half i = if i < n_cells / 2 then 0 else 1 in
+      let nets = Hashtbl.create 32 in
+      Array.iteri
+        (fun i c ->
+          List.iter
+            (fun p ->
+              let net = p.Builder.net_name in
+              let lo, hi =
+                try Hashtbl.find nets net with Not_found -> (false, false)
+              in
+              Hashtbl.replace nets net
+                (if half i = 0 then (true, hi) else (lo, true)))
+            c.pins)
+        cells;
+      let spanning =
+        Hashtbl.fold (fun net (lo, hi) acc -> if lo && hi then net :: acc else acc)
+          nets []
+        |> List.sort compare
+      in
+      (match spanning with
+      | [] -> ()
+      | bridge :: cut ->
+          let cut = List.sort_uniq compare cut in
+          ignore bridge;
+          Array.iter
+            (fun c ->
+              c.pins <-
+                List.filter
+                  (fun p -> not (List.mem p.Builder.net_name cut))
+                  c.pins)
+            cells)
+
+let apply ~rng mutation (nl : Netlist.t) =
+  let cells = ir_of_netlist nl in
+  mutate_ir rng mutation cells;
+  build_ir ~name:nl.Netlist.name ~track_spacing:nl.Netlist.track_spacing
+    ~weights:(weights_of nl) cells
+
+let apply_all ~rng mutations nl =
+  List.fold_left (fun nl m -> apply ~rng m nl) nl mutations

@@ -1,0 +1,55 @@
+(** Adversarial netlist mutators for the QA fuzzing harness.
+
+    Each mutation takes a valid netlist and returns a new (usually still
+    valid, deliberately hostile) netlist exercising a corner the synthetic
+    generator never produces: sliver and near-degenerate macros, duplicated
+    pin names, pathological aspect-ratio ranges, bus nets touching most of
+    the circuit, and near-disconnected topologies held together by a single
+    net.  Mutations are deterministic in [(mutation, rng state, input)].
+
+    A mutation may legitimately produce a netlist the lint layer rejects —
+    that is the point: the fuzzer's contract is that every such input is
+    refused with a structured diagnostic, never a crash. *)
+
+type t =
+  | Sliver_macros of int
+      (** Replace up to [n] macro shapes with 1-track-wide slivers of the
+          same height (zero-width in routing terms); committed pins are
+          clamped onto the new boundary box. *)
+  | Tiny_cells of int
+      (** Replace up to [n] macro shapes with minimal 1×1 cells. *)
+  | Duplicate_pins of int
+      (** On up to [n] cells, add a second pin carrying an {e existing}
+          pin's name (lint W202) at the same location / restriction, wired
+          to the same net. *)
+  | Pathological_aspect of int
+      (** Convert up to [n] cells into soft cells whose aspect ratio may
+          range over [0.05, 20] — far outside anything the generator or the
+          paper's circuits contain.  Committed pins become uncommitted. *)
+  | Heavy_net of int
+      (** Grow the first net into a bus touching up to [n] distinct cells
+          (one extra pin each). *)
+  | Near_disconnected
+      (** Split the cells into two halves and delete every net spanning
+          them except one — the layout's only bridge.  Cells may end up
+          pinless (lint W201). *)
+
+val all_kinds : t list
+(** One representative of each constructor, with small default counts —
+    the fuzzer's sampling universe. *)
+
+val to_string : t -> string
+(** Stable textual form, e.g. ["sliver:3"]; round-trips with
+    {!of_string}. *)
+
+val of_string : string -> t option
+
+val apply : rng:Twmc_sa.Rng.t -> t -> Twmc_netlist.Netlist.t -> Twmc_netlist.Netlist.t
+(** Apply one mutation.  Raises whatever {!Twmc_netlist.Builder.build}
+    raises when the mutated structure is invalid — callers that need
+    crash-freedom (the fuzz runner) catch [Invalid_argument] and classify
+    the case as rejected-by-construction. *)
+
+val apply_all :
+  rng:Twmc_sa.Rng.t -> t list -> Twmc_netlist.Netlist.t -> Twmc_netlist.Netlist.t
+(** Left-to-right composition of {!apply}. *)

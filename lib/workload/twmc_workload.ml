@@ -2,3 +2,4 @@
 
 module Synth = Synth
 module Circuits = Circuits
+module Mutate = Mutate

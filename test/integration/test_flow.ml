@@ -90,10 +90,46 @@ let test_stage2_converges () =
   checkb "teil ratio near 1" true (teil_ratio > 0.7 && teil_ratio < 1.4);
   checkb "area ratio near 1" true (area_ratio > 0.7 && area_ratio < 1.5)
 
+let test_retry_exhaustion_surfaces_cause () =
+  (* A deliberately infeasible core spec: stage 1 cannot even construct
+     its estimator on a zero-area core, so every retry fails.  The result
+     must carry a G405 error naming the last attempt's failing diagnostic
+     (the root cause), report the retries actually used, and classify as
+     Degraded — never raise, never return a bare "no result". *)
+  let nl = netlist () in
+  let core = Twmc_geometry.Rect.make ~x0:0 ~y0:0 ~x1:0 ~y1:0 in
+  let rr = Twmc.Flow.run_resilient ~params ~seed:1 ~core ~max_retries:1 nl in
+  checkb "no flow result" true (rr.Twmc.Flow.flow = None);
+  Alcotest.(check string)
+    "degraded, not crashed" "degraded"
+    (Twmc.Flow.status_to_string rr.Twmc.Flow.status);
+  Alcotest.(check int) "used the one retry" 1 rr.Twmc.Flow.retries_used;
+  let find code =
+    List.filter
+      (fun d -> d.Twmc.Robust.Diagnostic.code = code)
+      rr.Twmc.Flow.diagnostics
+  in
+  checkb "per-attempt G400s" true (List.length (find "G400") >= 2);
+  match find "G405" with
+  | [ d ] ->
+      checkb "summary is an error" true
+        (d.Twmc.Robust.Diagnostic.severity = Twmc.Robust.Diagnostic.Error);
+      let msg = d.Twmc.Robust.Diagnostic.message in
+      let mentions needle =
+        let n = String.length needle and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+        go 0
+      in
+      checkb "names the attempt count" true (mentions "2 attempt");
+      checkb "names the failing code" true (mentions "[G400]")
+  | ds -> Alcotest.failf "expected exactly one G405, got %d" (List.length ds)
+
 let () =
   Alcotest.run "flow"
     [ ( "flow",
         [ Alcotest.test_case "full flow" `Slow test_full_flow;
           Alcotest.test_case "determinism" `Slow test_flow_determinism;
           Alcotest.test_case "required expansions" `Slow test_required_expansions;
-          Alcotest.test_case "stage2 convergence" `Slow test_stage2_converges ] ) ]
+          Alcotest.test_case "stage2 convergence" `Slow test_stage2_converges;
+          Alcotest.test_case "retry exhaustion names the cause" `Quick
+            test_retry_exhaustion_surfaces_cause ] ) ]

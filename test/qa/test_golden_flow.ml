@@ -1,0 +1,110 @@
+(* End-to-end golden-trajectory regression: run every golden target under
+   the fixed QA profile (seed 1, a_c 8, m_routes 6) and compare the final
+   C1/C2/C3, TEIL, areas, routing summary, digests and the stage-1
+   per-temperature trace against the blessed records in test/golden/.
+
+   A mismatch prints a field-by-field diff and the one-line re-bless
+   instruction — drift is either a regression (fix it) or an intended
+   behavior change (re-bless and commit the new records). *)
+
+module Golden = Twmc_qa.Golden
+
+(* `dune runtest` runs in the test/qa directory; `dune exec` may run from
+   the workspace root — resolve whichever prefix exists. *)
+let resolve candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let golden_dir =
+  resolve [ "../golden"; "test/golden" ]
+
+let netlists_dir =
+  resolve [ "../../examples/netlists"; "examples/netlists" ]
+
+let check_target (name, load) () =
+  let path = Filename.concat golden_dir (name ^ ".golden") in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "no golden record %s — %s" path Golden.rebless_hint;
+  let expected =
+    match
+      Golden.of_string (In_channel.with_open_text path In_channel.input_all)
+    with
+    | Ok g -> g
+    | Error m -> Alcotest.failf "unreadable golden %s: %s" path m
+  in
+  let actual = Golden.capture ~name (load ()) in
+  match Golden.diff ~expected ~actual with
+  | [] -> ()
+  | lines ->
+      Alcotest.failf "golden drift on %s:\n  %s\n%s" name
+        (String.concat "\n  " lines)
+        Golden.rebless_hint
+
+let test_roundtrip () =
+  (* The stored form itself must round-trip: parse → print → parse is the
+     identity on every blessed record. *)
+  List.iter
+    (fun (name, _) ->
+      let path = Filename.concat golden_dir (name ^ ".golden") in
+      if Sys.file_exists path then
+        let s = In_channel.with_open_text path In_channel.input_all in
+        match Golden.of_string s with
+        | Error m -> Alcotest.failf "%s: %s" name m
+        | Ok g -> (
+            match Golden.of_string (Golden.to_string g) with
+            | Ok g' ->
+                Alcotest.(check bool)
+                  (name ^ " round-trips") true
+                  (Golden.diff ~expected:g ~actual:g' = [])
+            | Error m -> Alcotest.failf "%s reprint: %s" name m))
+    (Golden.targets ~netlists_dir)
+
+let test_diff_readable () =
+  (* The diff must name each drifting field in plain text, and the hint
+     must say how to re-bless. *)
+  let path = Filename.concat golden_dir "small.golden" in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "no golden record %s — %s" path Golden.rebless_hint;
+  match
+    Golden.of_string (In_channel.with_open_text path In_channel.input_all)
+  with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      let broken =
+        { g with
+          Golden.c1 = g.Golden.c1 +. 100.0;
+          placement_digest = "deadbeef" }
+      in
+      let lines = Golden.diff ~expected:g ~actual:broken in
+      let mentions field =
+        List.exists
+          (fun l ->
+            String.length l >= String.length field
+            && String.sub l 0 (String.length field) = field)
+          lines
+      in
+      Alcotest.(check bool) "c1 drift reported" true (mentions "c1:");
+      Alcotest.(check bool) "digest drift reported" true
+        (mentions "placement_digest:");
+      Alcotest.(check int) "exactly the two injected drifts" 2
+        (List.length lines);
+      Alcotest.(check bool) "hint names the bless command" true
+        (let h = Golden.rebless_hint in
+         let rec has i =
+           i + 8 <= String.length h
+           && (String.sub h i 8 = "qa bless" || has (i + 1))
+         in
+         has 0)
+
+let () =
+  let targets = Golden.targets ~netlists_dir in
+  Alcotest.run "golden-flow"
+    [ ( "targets",
+        List.map
+          (fun ((name, _) as t) ->
+            Alcotest.test_case name `Slow (check_target t))
+          targets );
+      ( "format",
+        [ Alcotest.test_case "records round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "diff is readable" `Quick test_diff_readable ] ) ]

@@ -1,0 +1,259 @@
+(* The QA harness's own tests: fuzz-case serialization, corpus persistence
+   and replay determinism, shrinker convergence under an injected bug,
+   the metamorphic oracle pack on clean flows, and a short fuzz smoke. *)
+
+module Fuzz_case = Twmc_qa.Fuzz_case
+module Runner = Twmc_qa.Runner
+module Shrink = Twmc_qa.Shrink
+module Corpus = Twmc_qa.Corpus
+module Oracle = Twmc_qa.Oracle
+module Fuzz = Twmc_qa.Fuzz
+module Fingerprint = Twmc_qa.Fingerprint
+module Mutate = Twmc_workload.Mutate
+module Synth = Twmc_workload.Synth
+module Flow = Twmc.Flow
+module Rng = Twmc_sa.Rng
+
+let small_flow ?(seed = 1) ?(n_cells = 8) () =
+  let nl =
+    Synth.generate ~seed:3
+      { Synth.default_spec with
+        Synth.n_cells;
+        n_nets = 2 * n_cells;
+        n_pins = 5 * n_cells }
+  in
+  let params =
+    { Twmc_place.Params.default with Twmc_place.Params.a_c = 4; m_routes = 6 }
+  in
+  (nl, Flow.run_resilient ~params ~seed nl)
+
+(* ------------------------------------------------- case serialization *)
+
+let test_case_roundtrip () =
+  let rng = Rng.create ~seed:42 in
+  for i = 1 to 50 do
+    let c = Fuzz_case.generate ~rng in
+    match Fuzz_case.of_string (Fuzz_case.to_string c) with
+    | Ok c' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "case %d round-trips" i)
+          true (c = c')
+    | Error m -> Alcotest.failf "case %d failed to parse back: %s" i m
+  done
+
+let test_case_parse_rejects_garbage () =
+  (match Fuzz_case.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty string parsed");
+  (match Fuzz_case.of_string "not-a-case v9\nseed 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header parsed");
+  match Fuzz_case.of_string "twmc-qa-case v1\nseed banana\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad seed value parsed"
+
+let test_case_mutations_roundtrip () =
+  let c = { Fuzz_case.default with Fuzz_case.mutations = Mutate.all_kinds } in
+  match Fuzz_case.of_string (Fuzz_case.to_string c) with
+  | Ok c' ->
+      Alcotest.(check int)
+        "all mutation kinds survive"
+        (List.length Mutate.all_kinds)
+        (List.length c'.Fuzz_case.mutations)
+  | Error m -> Alcotest.fail m
+
+(* ----------------------------------------------------------- corpus *)
+
+let test_corpus_save_load_replay () =
+  let dir = Filename.temp_dir "twmc-qa-corpus" "" in
+  let rng = Rng.create ~seed:7 in
+  let c1 = Fuzz_case.generate ~rng and c2 = Fuzz_case.generate ~rng in
+  let p1 = Corpus.save ~dir ~key:"oracle:test" c1 in
+  let p1' = Corpus.save ~dir ~key:"oracle:test" c1 in
+  let _p2 = Corpus.save ~dir c2 in
+  Alcotest.(check string) "saving the same case is idempotent" p1 p1';
+  let entries = Corpus.load_dir dir in
+  Alcotest.(check int) "two distinct cases stored" 2 (List.length entries);
+  (match Corpus.load_file p1 with
+  | Ok c -> Alcotest.(check bool) "file reloads to the same case" true (c = c1)
+  | Error m -> Alcotest.fail m);
+  (* Replay determinism: running a corpus case twice gives one outcome. *)
+  let small =
+    { Fuzz_case.default with Fuzz_case.n_cells = 4; n_nets = 6; n_pins = 14 }
+  in
+  let o1 = Runner.run small and o2 = Runner.run small in
+  Alcotest.(check bool) "replay is deterministic" true (o1 = o2)
+
+(* ---------------------------------------------------------- shrinker *)
+
+(* An injected bug: the oracle fires whenever the flow produced anything.
+   The shrinker must drive the case to the smallest spec that still runs
+   the flow — well under the 5-cell acceptance bar. *)
+let test_shrinker_converges () =
+  let inject (rr : Flow.resilient_result) =
+    match rr.Flow.flow with
+    | Some _ -> [ { Oracle.oracle = "injected"; detail = "seeded bug" } ]
+    | None -> []
+  in
+  let run c = Runner.run ~extra_oracle:inject c in
+  let case =
+    { Fuzz_case.default with
+      Fuzz_case.n_cells = 12;
+      n_nets = 30;
+      n_pins = 80;
+      mutations = Mutate.all_kinds;
+      replicas = 2;
+      core_scale = 0.5 }
+  in
+  (match run case with
+  | Runner.Failed kinds ->
+      Alcotest.(check string)
+        "failure key" "oracle:injected"
+        (Runner.failure_key (List.hd kinds))
+  | o ->
+      Alcotest.failf "seeded case did not fail: %a" Runner.pp_outcome o);
+  let shrunk, steps = Shrink.shrink ~run ~key:"oracle:injected" case in
+  Alcotest.(check bool) "took shrink steps" true (steps > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 5 cells (got %d)" shrunk.Fuzz_case.n_cells)
+    true
+    (shrunk.Fuzz_case.n_cells <= 5);
+  Alcotest.(check (list string)) "mutations dropped" []
+    (List.map Mutate.to_string shrunk.Fuzz_case.mutations);
+  (* The minimized case still fails with the same key, twice over — the
+     reproducer is deterministic. *)
+  let keys o = Runner.outcome_keys o in
+  Alcotest.(check (list string))
+    "shrunk case still fails" [ "oracle:injected" ]
+    (keys (run shrunk));
+  Alcotest.(check (list string))
+    "…deterministically" [ "oracle:injected" ]
+    (keys (run shrunk))
+
+let test_shrink_preserves_distinct_key () =
+  (* An oracle keyed on a property the shrinker could destroy: fires only
+     while the case has >= 2 nets.  Shrinking must stop at 2 nets, not
+     shrink past the failure. *)
+  let inject_nets n (rr : Flow.resilient_result) =
+    ignore rr;
+    if n >= 2 then [ { Oracle.oracle = "needs-nets"; detail = "n >= 2" } ]
+    else []
+  in
+  let run c = Runner.run ~extra_oracle:(inject_nets c.Fuzz_case.n_nets) c in
+  let case =
+    { Fuzz_case.default with Fuzz_case.n_cells = 8; n_nets = 12; n_pins = 30 }
+  in
+  let shrunk, _ = Shrink.shrink ~run ~key:"oracle:needs-nets" case in
+  Alcotest.(check int) "stopped at the boundary" 2 shrunk.Fuzz_case.n_nets;
+  Alcotest.(check (list string))
+    "boundary case still fails" [ "oracle:needs-nets" ]
+    (Runner.outcome_keys (run shrunk))
+
+(* ----------------------------------------------------------- oracles *)
+
+let test_oracles_pass_on_clean_flow () =
+  let nl, rr = small_flow () in
+  (match rr.Flow.flow with
+  | None -> Alcotest.fail "flow produced no result"
+  | Some r ->
+      let fails = Oracle.check_flow r in
+      List.iter (fun f -> Format.eprintf "%a@." Oracle.pp_failure f) fails;
+      Alcotest.(check int) "oracle pack clean" 0 (List.length fails));
+  let ef = Oracle.eta_monotone ~seed:5 nl in
+  Alcotest.(check int) "eta-monotone clean" 0 (List.length ef)
+
+let test_oracles_restore_placement () =
+  let _nl, rr = small_flow () in
+  match rr.Flow.flow with
+  | None -> Alcotest.fail "flow produced no result"
+  | Some r ->
+      let p = r.Flow.stage2.Twmc.Stage2.placement in
+      let before = Fingerprint.placement p in
+      let c1 = Twmc_place.Placement.c1 p in
+      ignore (Oracle.check_placement p);
+      Alcotest.(check string)
+        "placement untouched by the pack" before (Fingerprint.placement p);
+      Alcotest.(check (float 1e-9)) "c1 untouched" c1
+        (Twmc_place.Placement.c1 p)
+
+(* The acceptance-criteria mutation test, executable form: corrupt the
+   placement's cached state the way a cost-accounting bug would (a cell
+   moved behind the accumulators' back) and require the pack to notice.
+   DESIGN.md §12 documents the manual source-level variant of this
+   experiment. *)
+let test_oracles_catch_seeded_accounting_bug () =
+  let _nl, rr = small_flow () in
+  match rr.Flow.flow with
+  | None -> Alcotest.fail "flow produced no result"
+  | Some r ->
+      let p = r.Flow.stage2.Twmc.Stage2.placement in
+      (* Move a cell through the legitimate API, then undo the move with
+         a *stale* cost snapshot: positions are new, accumulators old —
+         exactly the drift a broken incremental update produces. *)
+      let snap = Twmc_place.Placement.snapshot_cost p in
+      let x, y = Twmc_place.Placement.cell_pos p 0 in
+      Twmc_place.Placement.set_cell p 0 ~x:(x + 1000) ~y:(y + 1000) ();
+      Twmc_place.Placement.restore_cost p snap;
+      let fails = Oracle.check_placement p in
+      Alcotest.(check bool)
+        (Printf.sprintf "pack caught the corruption (%d finding(s))"
+           (List.length fails))
+        true (fails <> []);
+      Alcotest.(check bool) "specifically the independent TEIC recomputation"
+        true
+        (List.exists (fun f -> f.Oracle.oracle = "teic-independent") fails)
+
+(* -------------------------------------------------------- fuzz smoke *)
+
+let test_fuzz_smoke () =
+  let report = Fuzz.campaign ~seed:1 ~iters:20 () in
+  Alcotest.(check int) "ran every case" 20 report.Fuzz.iters_run;
+  List.iter
+    (fun (f : Fuzz.failure_record) ->
+      Format.eprintf "fuzz failure [%s]: %a@." f.Fuzz.key Fuzz_case.pp
+        f.Fuzz.case)
+    report.Fuzz.failures;
+  Alcotest.(check int) "no failures on trunk" 0
+    (List.length report.Fuzz.failures);
+  Alcotest.(check bool) "most cases complete" true
+    (report.Fuzz.clean + report.Fuzz.degraded > 0)
+
+let test_campaign_deterministic () =
+  (* Identical (seed, iters) → identical tallies, independent of wall
+     clock (no time limit, and all budgets classify as Passed). *)
+  let strip (r : Fuzz.report) =
+    (r.Fuzz.iters_run, r.Fuzz.clean, r.Fuzz.degraded, r.Fuzz.invalid,
+     r.Fuzz.timed_out, r.Fuzz.rejected, List.length r.Fuzz.failures)
+  in
+  let a = Fuzz.campaign ~seed:11 ~iters:6 () in
+  let b = Fuzz.campaign ~seed:11 ~iters:6 () in
+  Alcotest.(check bool) "same tallies" true (strip a = strip b)
+
+let () =
+  Alcotest.run "qa"
+    [ ( "case",
+        [ Alcotest.test_case "round-trip" `Quick test_case_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_case_parse_rejects_garbage;
+          Alcotest.test_case "mutations round-trip" `Quick
+            test_case_mutations_roundtrip ] );
+      ( "corpus",
+        [ Alcotest.test_case "save/load/replay" `Quick
+            test_corpus_save_load_replay ] );
+      ( "shrink",
+        [ Alcotest.test_case "converges under injected bug" `Slow
+            test_shrinker_converges;
+          Alcotest.test_case "stops at the failure boundary" `Slow
+            test_shrink_preserves_distinct_key ] );
+      ( "oracle",
+        [ Alcotest.test_case "pack passes on clean flow" `Slow
+            test_oracles_pass_on_clean_flow;
+          Alcotest.test_case "pack restores the placement" `Slow
+            test_oracles_restore_placement;
+          Alcotest.test_case "pack catches seeded accounting bug" `Slow
+            test_oracles_catch_seeded_accounting_bug ] );
+      ( "fuzz",
+        [ Alcotest.test_case "20-case smoke, zero failures" `Slow
+            test_fuzz_smoke;
+          Alcotest.test_case "campaign is deterministic" `Slow
+            test_campaign_deterministic ] ) ]

@@ -13,7 +13,8 @@ let checks = Alcotest.(check string)
    the workspace root — resolve whichever prefix exists. *)
 let resolve name =
   let candidates =
-    [ Filename.concat "../examples/netlists" name;
+    [ Filename.concat "../../examples/netlists" name;
+      Filename.concat "../examples/netlists" name;
       Filename.concat "examples/netlists" name ]
   in
   match List.find_opt Sys.file_exists candidates with
@@ -85,7 +86,7 @@ let crlf_roundtrip file () =
     nl (Parser.parse_string crlf)
 
 let () =
-  Alcotest.run "golden"
+  Alcotest.run "parser-roundtrip"
     [ ( "roundtrip",
         List.map
           (fun f ->
