@@ -278,13 +278,67 @@ let flow_cmd =
       & info [ "max-retries" ] ~docv:"N"
           ~doc:"Stage-1 retries with perturbed seeds after a failure.")
   in
+  let checkpoint_term =
+    let dir =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "checkpoint-dir" ] ~docv:"DIR"
+            ~doc:
+              "Write crash-durable checkpoints (atomic, fingerprinted) to \
+               $(docv)/<netlist>.ckpt: one after stage 1 and one every \
+               $(b,--checkpoint-every) stage-2 refinements.")
+    in
+    let every =
+      Arg.(
+        value & opt int 1
+        & info [ "checkpoint-every" ] ~docv:"N"
+            ~doc:"Checkpoint every $(docv)-th stage-2 refinement (default 1).")
+    in
+    let resume =
+      Arg.(
+        value & flag
+        & info [ "resume" ]
+            ~doc:
+              "Resume from the checkpoint in $(b,--checkpoint-dir) instead \
+               of starting over.  The resumed run reproduces the \
+               uninterrupted run's final output byte-for-byte (same params \
+               and seed required; enforced by fingerprint).")
+    in
+    Term.(const (fun d e r -> (d, e, r)) $ dir $ every $ resume)
+  in
+  let digest =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Print a $(b,digest <md5>) line over the final placement, \
+             routing and costs — the byte-identity witness used by the \
+             kill-and-resume checks.")
+  in
   let run (params, seed) (jobs, replicas) strict time_budget_s max_retries
-      obs_spec file =
+      (ckpt_dir, ckpt_every, resume) digest obs_spec file =
     let nl = read_netlist file in
     let obs, obs_finish = make_obs obs_spec in
+    let checkpoint =
+      Option.map
+        (fun dir -> { Twmc.Flow.dir; every = ckpt_every })
+        ckpt_dir
+    in
     let rr =
-      Twmc.Flow.run_resilient ~params ~seed ~strict ?time_budget_s
-        ~max_retries ~jobs ~replicas ~obs nl
+      if resume then
+        match checkpoint with
+        | None ->
+            Format.eprintf "twmc flow: --resume requires --checkpoint-dir@.";
+            exit 2
+        | Some cfg ->
+            Twmc.Flow.resume ~params ~strict ?time_budget_s ~jobs
+              ~checkpoint:cfg ~obs
+              ~path:(Twmc.Flow.checkpoint_path cfg nl)
+              nl
+      else
+        Twmc.Flow.run_resilient ~params ~seed ~strict ?time_budget_s
+          ~max_retries ~jobs ~replicas ?checkpoint ~obs nl
     in
     obs_finish ();
     List.iter
@@ -307,6 +361,8 @@ let flow_cmd =
               it.Twmc.Stage2.teil_after
               (Twmc_geometry.Rect.area it.Twmc.Stage2.chip_after))
           r.Twmc.Flow.stage2.Twmc.Stage2.iterations;
+        if digest then
+          Format.printf "digest %s@." (Twmc_qa.Fingerprint.flow r);
         if rr.Twmc.Flow.status <> Twmc.Flow.Clean then
           Format.printf "status: %s@."
             (Twmc.Flow.status_to_string rr.Twmc.Flow.status));
@@ -316,10 +372,12 @@ let flow_cmd =
     (Cmd.info "flow"
        ~doc:
          "Run the complete two-stage TimberWolfMC flow under the guarded \
-          driver (lint, invariant checks, checkpoint/rollback).  Exit \
-          codes: 0 clean, 3 degraded, 4 invalid input, 5 budget expired.")
+          driver (lint, invariant checks, checkpoint/rollback, durable \
+          checkpoints with $(b,--checkpoint-dir), resume with \
+          $(b,--resume)).  Exit codes: 0 clean, 3 degraded, 4 invalid \
+          input, 5 budget expired.")
     Term.(const run $ params_term $ parallel_term $ strict_term $ time_budget
-          $ max_retries $ obs_term $ file)
+          $ max_retries $ checkpoint_term $ digest $ obs_term $ file)
 
 (* -------------------------------------------------------------- route *)
 
@@ -691,13 +749,52 @@ let qa_diff_cmd =
           field-by-field diff).")
     Term.(const run $ golden_dirs_term)
 
+let qa_chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; fixed (seed, plans) replays identically.")
+  in
+  let plans =
+    Arg.(value & opt int 100 & info [ "plans" ] ~docv:"N"
+           ~doc:"Number of fault-injection plans to run.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Save a replayable artifact for every survivor here.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the progress dots.")
+  in
+  let run seed plans out quiet =
+    let progress i =
+      if (not quiet) && i mod 10 = 0 then (print_char '.'; flush stdout)
+    in
+    let report = Twmc_qa.Chaos.campaign ?out_dir:out ~progress ~seed ~plans () in
+    if not quiet then print_newline ();
+    Format.printf "%a@." Twmc_qa.Chaos.pp_report report;
+    exit (if report.Twmc_qa.Chaos.survivors = [] then 0 else exit_qa_failure)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fuzz deterministic fault-injection plans (stage exceptions, \
+          simulated deadline expiry, torn/short/transient checkpoint \
+          writes) through the resilient flow with durable checkpointing, \
+          asserting it always terminates in a typed status with \
+          diagnostics and never leaves a corrupt checkpoint.  Exit 0 when \
+          every plan is contained, 6 otherwise.")
+    Term.(const run $ seed $ plans $ out $ quiet)
+
 let qa_cmd =
   Cmd.group
     (Cmd.info "qa"
        ~doc:
          "Correctness tooling: fuzzing with shrinking, metamorphic \
-          oracles, and the golden-trajectory store.")
-    [ qa_fuzz_cmd; qa_replay_cmd; qa_shrink_cmd; qa_bless_cmd; qa_diff_cmd ]
+          oracles, chaos fault-injection campaigns, and the \
+          golden-trajectory store.")
+    [ qa_fuzz_cmd; qa_replay_cmd; qa_shrink_cmd; qa_chaos_cmd; qa_bless_cmd;
+      qa_diff_cmd ]
 
 let () =
   let info =

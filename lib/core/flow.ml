@@ -2,10 +2,13 @@ open Twmc_geometry
 module Params = Twmc_place.Params
 module Stage1 = Twmc_place.Stage1
 module Placement = Twmc_place.Placement
+module Moves = Twmc_place.Moves
+module Rng = Twmc_sa.Rng
 module Diagnostic = Twmc_robust.Diagnostic
 module Lint = Twmc_robust.Lint
 module Invariant = Twmc_robust.Invariant
 module Guard = Twmc_robust.Guard
+module Checkpoint = Twmc_robust.Checkpoint
 module Obs = Twmc_obs.Ctx
 module Attr = Twmc_obs.Attr
 module Metrics = Twmc_obs.Metrics
@@ -127,14 +130,89 @@ type resilient_result = {
   retries_used : int;
 }
 
+type checkpoint_cfg = { dir : string; every : int }
+
+let checkpoint_path cfg nl =
+  Filename.concat cfg.dir (nl.Twmc_netlist.Netlist.name ^ ".ckpt")
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* Terminal-status policy, shared by [run_resilient] and [resume] so a
+   resumed flow classifies identically to an uninterrupted one. *)
+let flow_status ~strict ~guard ~diags (s1 : Stage1.result) (s2 : Stage2.result)
+    =
+  let timed_out =
+    Guard.expired guard || s1.Stage1.interrupted || s2.Stage2.interrupted
+  in
+  let degraded =
+    s2.Stage2.final_route = None
+    || s2.Stage2.rollbacks > 0
+    || Diagnostic.fatal ~strict (List.rev diags) <> []
+  in
+  if timed_out then Timed_out else if degraded then Degraded else Clean
+
+let s1_summary_of (s1 : Stage1.result) =
+  { Checkpoint.s1_teil = s1.Stage1.teil;
+    s1_c1 = s1.Stage1.c1;
+    s1_residual_overlap = s1.Stage1.residual_overlap;
+    s1_chip = s1.Stage1.chip;
+    s1_core = s1.Stage1.core;
+    s1_t_inf = s1.Stage1.t_inf;
+    s1_s_t = s1.Stage1.s_t;
+    s1_temperatures = s1.Stage1.temperatures_visited }
+
+(* Best-effort durable-checkpoint writer: the RNG cursor is read at call
+   time, so a write at a stage boundary captures exactly the stream position
+   the continuation will consume.  A failed write degrades to a G410
+   warning — durability costs resume coverage, never the flow. *)
+let durable_writer ~add ~params ~nl ~checkpoint ~seed_used ~rng ~s1 stage =
+  match checkpoint with
+  | None -> ()
+  | Some cfg -> (
+      let d =
+        Checkpoint.durable ~stage ~seed_used
+          ~rng_cursor:(Rng.to_binary_string rng) ~s1:(s1_summary_of s1)
+          s1.Stage1.placement
+      in
+      match Checkpoint.save ~path:(checkpoint_path cfg nl) ~netlist:nl ~params d with
+      | () -> ()
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break
+                   | Twmc_util.Fault.Abort _) as e) ->
+          raise e
+      | exception e ->
+          add
+            (Diagnostic.make ~severity:Diagnostic.Warning ~entity:"checkpoint"
+               ~code:"G410"
+               (Printf.sprintf "checkpoint write failed (flow continues): %s"
+                  (Printexc.to_string e))))
+
+let iteration_writer ~checkpoint ~write =
+  match checkpoint with
+  | None -> None
+  | Some cfg ->
+      let every = max 1 cfg.every in
+      Some
+        (fun i ->
+          if i mod every = 0 then write (Checkpoint.Stage2_iteration i))
+
 let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
-    ?time_budget_s ?(max_retries = 2) ?(jobs = 1) ?(replicas = 1)
-    ?(obs = Obs.disabled) nl =
+    ?time_budget_s ?(max_retries = 2) ?(retry_backoff_s = 0.05) ?(jobs = 1)
+    ?(replicas = 1) ?checkpoint ?(obs = Obs.disabled) nl =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let addl l = List.iter add l in
   let retries = ref 0 in
   let finish flow status =
+    (* Invariant relied on by the chaos harness: a non-Clean terminal status
+       is always explained by at least one diagnostic. *)
+    if
+      status = Timed_out
+      && not (List.exists (fun d -> d.Diagnostic.code = "G401") !diags)
+    then add (Guard.timeout_diag ~name:"flow");
     if Obs.metrics_on obs then begin
       let m = obs.Obs.metrics in
       Metrics.add (Metrics.counter m "flow.retries") !retries;
@@ -168,6 +246,7 @@ let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
     let should_stop = Guard.should_stop guard in
     let base_seed = match seed with Some s -> s | None -> params.Params.seed in
     let t0 = Sys.time () in
+    (match checkpoint with Some cfg -> mkdir_p cfg.dir | None -> ());
     (* Stage 1 with retry-on-failure: a throwing or invariant-violating
        anneal is retried from a perturbed seed — SA failures are usually
        trajectory-specific, so a different random walk sidesteps them. *)
@@ -207,16 +286,33 @@ let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
             s1)
       in
       match outcome with
-      | Guard.Ok s1 -> Ok (rng, s1)
+      | Guard.Ok s1 -> Ok (seed, rng, s1)
       | Guard.Failed d ->
           add d;
           if attempt < max_retries && not (Guard.expired guard) then begin
             incr retries;
+            let next_seed = base_seed + ((attempt + 1) * 7919) in
+            (* Exponential backoff with deterministic jitter.  The jitter is
+               drawn from a throwaway generator split off the next attempt's
+               seed, so the retry's own stream is exactly what a fresh run
+               at that seed would consume; the delay never exceeds the
+               guard's remaining budget. *)
+            let jitter = Rng.unit_float (Rng.split (Rng.create ~seed:next_seed)) in
+            let delay =
+              retry_backoff_s *. (2.0 ** float_of_int attempt) *. (0.5 +. jitter)
+            in
+            let delay =
+              match Guard.remaining_s guard with
+              | None -> delay
+              | Some r -> Float.min delay (Float.max 0.0 r)
+            in
             add
               (Diagnostic.make ~severity:Diagnostic.Info ~entity:"stage1"
                  ~code:"G403"
-                 (Printf.sprintf "retrying with perturbed seed %d"
-                    (base_seed + ((attempt + 1) * 7919))));
+                 (Printf.sprintf
+                    "retrying with perturbed seed %d after %.1f ms backoff"
+                    next_seed (delay *. 1000.0)));
+            Guard.sleep_s delay;
             stage1_attempt (attempt + 1)
           end
           else Error d
@@ -234,26 +330,145 @@ let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
                 "stage 1 failed on all %d attempt(s); last failure: [%s] %s"
                 (!retries + 1) last.Diagnostic.code last.Diagnostic.message));
         finish None (if Guard.expired guard then Timed_out else Degraded)
-    | Ok (rng, s1) ->
-        let s2 = Stage2.run ~rng ~should_stop ~resilient:true ?pool ~obs s1 in
+    | Ok (seed_used, rng, s1) ->
+        let write_ckpt =
+          durable_writer ~add ~params ~nl ~checkpoint ~seed_used ~rng ~s1
+        in
+        write_ckpt Checkpoint.Stage1_done;
+        let on_iteration = iteration_writer ~checkpoint ~write:write_ckpt in
+        let s2 =
+          Stage2.run ~rng ~should_stop ~resilient:true ?pool ~obs ?on_iteration
+            s1
+        in
         addl s2.Stage2.diagnostics;
         let r = assemble ~t0 nl s1 s2 in
         record_series obs r;
-        let timed_out =
-          Guard.expired guard || s1.Stage1.interrupted
-          || s2.Stage2.interrupted
-        in
-        let degraded =
-          s2.Stage2.final_route = None
-          || s2.Stage2.rollbacks > 0
-          || Diagnostic.fatal ~strict (List.rev !diags) <> []
-        in
-        let status =
-          if timed_out then Timed_out
-          else if degraded then Degraded
-          else Clean
-        in
-        finish (Some r) status)
+        finish (Some r) (flow_status ~strict ~guard ~diags:!diags s1 s2))
+
+let resume ?(params = Params.default) ?(strict = false) ?time_budget_s
+    ?(jobs = 1) ?checkpoint ?(obs = Obs.disabled) ~path nl =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let addl l = List.iter add l in
+  let finish flow status =
+    if
+      status = Timed_out
+      && not (List.exists (fun d -> d.Diagnostic.code = "G401") !diags)
+    then add (Guard.timeout_diag ~name:"flow");
+    if Obs.metrics_on obs then
+      Metrics.set
+        (Metrics.gauge obs.Obs.metrics "flow.diagnostics")
+        (float_of_int (List.length !diags));
+    if Obs.tracing obs then
+      Obs.point obs ~name:"flow.status"
+        ~attrs:
+          [ ("status", Attr.Str (status_to_string status));
+            ("resumed", Attr.Bool true) ]
+        ();
+    { flow; status; diagnostics = List.rev !diags; retries_used = 0 }
+  in
+  let invalid fmt =
+    Printf.ksprintf
+      (fun m ->
+        add
+          (Diagnostic.make ~severity:Diagnostic.Error ~entity:"checkpoint"
+             ~code:"G412" m);
+        finish None Invalid_input)
+      fmt
+  in
+  let lint = Lint.netlist nl in
+  addl lint;
+  if Diagnostic.fatal ~strict lint <> [] then finish None Invalid_input
+  else
+    match Checkpoint.load ~path ~netlist:nl ~params with
+    | Error m -> invalid "cannot resume from %s: %s" path m
+    | Ok d -> (
+        match Rng.of_binary_string d.Checkpoint.rng_cursor with
+        | None -> invalid "cannot resume from %s: RNG cursor does not deserialize" path
+        | Some rng ->
+            Obs.span obs ~name:"flow"
+              ~attrs:
+                (if Obs.tracing obs then
+                   [ ("netlist", Attr.Str nl.Twmc_netlist.Netlist.name);
+                     ("cells", Attr.Int (Twmc_netlist.Netlist.n_cells nl));
+                     ("jobs", Attr.Int jobs); ("resumed", Attr.Bool true) ]
+                 else [])
+            @@ fun () ->
+            with_optional_pool ~jobs ~obs (fun pool ->
+                let guard = Guard.create ?time_budget_s () in
+                let should_stop = Guard.should_stop guard in
+                let t0 = Sys.time () in
+                (match checkpoint with
+                | Some cfg -> mkdir_p cfg.dir
+                | None -> ());
+                (* Reattach the derivable parts the payload stores only as
+                   markers: a stage-1 [Dynamic] expander is rebuilt from
+                   (params, netlist, stage-1 core) — the same inputs the
+                   original run used — before restoring the snapshot. *)
+                let d =
+                  if d.Checkpoint.dynamic_expander then
+                    let s1_core = d.Checkpoint.s1.Checkpoint.s1_core in
+                    Checkpoint.with_expander d
+                      (Placement.Dynamic
+                         (Twmc_estimator.Dynamic_area.create
+                            ~beta:params.Params.beta
+                            ~core_w:(Rect.width s1_core)
+                            ~core_h:(Rect.height s1_core) nl))
+                  else d
+                in
+                let p =
+                  Placement.create ~params
+                    ~core:(Checkpoint.core_of d.Checkpoint.snapshot)
+                    ~expander:Placement.No_expansion
+                    ~rng:(Rng.create ~seed:d.Checkpoint.seed_used)
+                    nl
+                in
+                Checkpoint.restore p d.Checkpoint.snapshot;
+                let s = d.Checkpoint.s1 in
+                let s1 =
+                  { Stage1.placement = p;
+                    t_inf = s.Checkpoint.s1_t_inf;
+                    s_t = s.Checkpoint.s1_s_t;
+                    core = s.Checkpoint.s1_core;
+                    teil = s.Checkpoint.s1_teil;
+                    c1 = s.Checkpoint.s1_c1;
+                    residual_overlap = s.Checkpoint.s1_residual_overlap;
+                    chip = s.Checkpoint.s1_chip;
+                    move_stats = Moves.make_stats ();
+                    trace = [];
+                    temperatures_visited = s.Checkpoint.s1_temperatures;
+                    interrupted = false }
+                in
+                let start_iteration =
+                  match d.Checkpoint.stage with
+                  | Checkpoint.Stage1_done -> 1
+                  | Checkpoint.Stage2_iteration k -> k + 1
+                in
+                add
+                  (Diagnostic.make ~severity:Diagnostic.Info
+                     ~entity:"checkpoint" ~code:"G413"
+                     (Printf.sprintf
+                        "resumed from %s at stage-2 iteration %d (checkpoint: %s)"
+                        path start_iteration
+                        (match d.Checkpoint.stage with
+                        | Checkpoint.Stage1_done -> "after stage 1"
+                        | Checkpoint.Stage2_iteration k ->
+                            Printf.sprintf "after refinement %d" k)));
+                let write_ckpt =
+                  durable_writer ~add ~params ~nl ~checkpoint
+                    ~seed_used:d.Checkpoint.seed_used ~rng ~s1
+                in
+                let on_iteration =
+                  iteration_writer ~checkpoint ~write:write_ckpt
+                in
+                let s2 =
+                  Stage2.run ~rng ~should_stop ~resilient:true ?pool ~obs
+                    ~start_iteration ?on_iteration s1
+                in
+                addl s2.Stage2.diagnostics;
+                let r = assemble ~t0 nl s1 s2 in
+                record_series obs r;
+                finish (Some r) (flow_status ~strict ~guard ~diags:!diags s1 s2)))
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -74,6 +74,18 @@ type resilient_result = {
   retries_used : int;
 }
 
+type checkpoint_cfg = {
+  dir : string;  (** Created (recursively) if absent. *)
+  every : int;
+      (** Write a durable checkpoint after every [every]-th stage-2
+          refinement (clamped to at least 1); one is always written right
+          after stage 1. *)
+}
+
+val checkpoint_path : checkpoint_cfg -> Twmc_netlist.Netlist.t -> string
+(** [dir/<netlist name>.ckpt] — where {!run_resilient} writes and where
+    {!resume} expects to read. *)
+
 val run_resilient :
   ?params:Twmc_place.Params.t ->
   ?seed:int ->
@@ -81,15 +93,18 @@ val run_resilient :
   ?strict:bool ->
   ?time_budget_s:float ->
   ?max_retries:int ->
+  ?retry_backoff_s:float ->
   ?jobs:int ->
   ?replicas:int ->
+  ?checkpoint:checkpoint_cfg ->
   ?obs:Twmc_obs.Ctx.t ->
   Twmc_netlist.Netlist.t ->
   resilient_result
 (** Guarded end-to-end flow: never raises (resource-exhaustion exceptions
-    excepted).  The netlist is linted first ([strict], default false, also
-    promotes warnings to fatal); stage 1 is retried with perturbed seeds up
-    to [max_retries] (default 2) times on failure; stage 2 runs with
+    and the fault injector's simulated process death excepted).  The
+    netlist is linted first ([strict], default false, also promotes
+    warnings to fatal); stage 1 is retried with perturbed seeds up to
+    [max_retries] (default 2) times on failure; stage 2 runs with
     checkpoint/rollback; [time_budget_s] converts both anneals into
     cooperatively-interruptible loops that return the best-so-far
     configuration once the wall clock expires.  [core] behaves as in
@@ -98,12 +113,62 @@ val run_resilient :
     winner.  The wall-clock guard is shared: every replica polls the same
     budget.
 
+    Between retries the driver sleeps an exponential backoff
+    [retry_backoff_s · 2{^attempt} · (0.5 + jitter)] (default base 50 ms),
+    where [jitter ∈ \[0, 1)] is drawn from a throwaway generator split off
+    the next attempt's seed — deterministic, and invisible to the retry's
+    own stream.  The delay is capped by the guard's remaining budget and
+    recorded in the [G403] diagnostic.
+
     When stage 1 fails on every attempt, the result carries a [G405]
     {e error} diagnostic naming the last attempt's failing code and message
     (the root cause), and the status is [Timed_out] when the budget caused
     the exhaustion, [Degraded] otherwise.
 
+    [checkpoint] enables crash-durable checkpoints: one written (via
+    {!Twmc_robust.Checkpoint.save}, atomically) right after stage 1 commits
+    and one at every [every]-th stage-2 iteration boundary, each carrying
+    the placement, the flow position and the RNG cursor.  A write failure
+    degrades to a [G410] warning.  A flow killed at any point can be
+    re-entered with {!resume} from the last checkpoint on disk, and
+    {b reproduces the uninterrupted run's final placement and routing
+    byte-for-byte}.
+
     [obs] behaves as in {!run}, with additionally a [flow.retries] counter,
     a per-attempt ["stage1"] span and a final ["flow.status"] point. *)
+
+val resume :
+  ?params:Twmc_place.Params.t ->
+  ?strict:bool ->
+  ?time_budget_s:float ->
+  ?jobs:int ->
+  ?checkpoint:checkpoint_cfg ->
+  ?obs:Twmc_obs.Ctx.t ->
+  path:string ->
+  Twmc_netlist.Netlist.t ->
+  resilient_result
+(** Re-enter a flow from a durable checkpoint file.
+
+    The checkpoint is validated first — format version, payload
+    length/MD5, netlist fingerprint against [nl], parameter fingerprint
+    against [params] — and any mismatch (including a torn or truncated
+    file) yields [Invalid_input] with a [G412] error diagnostic; corrupt
+    input never raises and never half-restores.  On success the placement,
+    the stage-1 metadata and the RNG stream are restored exactly as the
+    writing flow left them at the boundary, a [G413] Info diagnostic
+    records the re-entry point, and stage 2 continues from the following
+    iteration (a [Stage1_done] checkpoint re-enters at iteration 1).
+
+    Because stage-2 iteration boundaries are canonical (every refinement
+    starts by re-deriving channels from the placement alone and every
+    boundary recomputes all caches from scratch), the resumed flow's final
+    placement, routing and cost digests are byte-identical to the
+    uninterrupted run at any [jobs].  [params], [strict] and [jobs] must
+    match the original invocation ([params] is enforced by fingerprint);
+    [checkpoint] continues writing checkpoints for subsequent boundaries.
+
+    The reconstructed {!result.stage1} carries the original run's summary
+    figures (TEIL, [t_inf], core, temperature count) but an empty trace and
+    fresh move statistics — trajectory telemetry is not persisted. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -231,6 +231,10 @@ let refine_once ~rng ?(final = false) ?should_stop ?pool ?(obs = Obs.disabled)
          @ [ ("final", Attr.Bool final) ]
        else [])
     (fun () ->
+      (* Fault site: fires per refinement execution, before any mutation, so
+         an injected exception leaves the snapshot taken by the resilient
+         driver as the authoritative state. *)
+      Twmc_util.Fault.point "stage2.refine";
       let route = channel_and_route ?should_stop ?pool ~obs ~rng p in
       let exps = required_expansions p route in
       Placement.set_expander p (Placement.Static exps);
@@ -251,10 +255,13 @@ let refine_once ~rng ?(final = false) ?should_stop ?pool ?(obs = Obs.disabled)
       (it, route, trace))
 
 let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
-    ?(obs = Obs.disabled) (s1 : Stage1.result) =
+    ?(obs = Obs.disabled) ?(start_iteration = 1) ?on_iteration
+    (s1 : Stage1.result) =
   let p = s1.Stage1.placement in
   let prm = Placement.params p in
   let n = max 1 prm.Params.refinement_iterations in
+  if start_iteration < 1 || start_iteration > n + 1 then
+    invalid_arg "Stage2.run: start_iteration out of range";
   let iterations = ref [] in
   let traces = ref [] in
   let diags = ref [] and rollbacks = ref 0 in
@@ -282,10 +289,15 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
       Metrics.sample (Metrics.series m "stage2.teil") it.teil_after
     end
   in
+  (* Invoked after every executed (not budget-skipped) refinement, whether
+     it was kept or rolled back: either way the placement is at a committed
+     iteration boundary, which is exactly the state a durable checkpoint may
+     capture. *)
+  let boundary i = match on_iteration with Some f -> f i | None -> () in
   Obs.span obs ~name:"stage2"
     ~attrs:(if Obs.tracing obs then [ ("iterations", Attr.Int n) ] else [])
   @@ fun () ->
-  for i = 1 to n do
+  for i = start_iteration to n do
     let name = Printf.sprintf "stage2 refinement %d" i in
     if should_stop () then begin
       if not (List.exists (fun d -> d.Diagnostic.code = "G401") !diags) then
@@ -297,7 +309,8 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
       in
       iterations := it :: !iterations;
       traces := trace :: !traces;
-      observe_iteration i it
+      observe_iteration i it;
+      boundary i
     end
     else begin
       (* Guarded iteration: snapshot first, then roll back if the
@@ -328,8 +341,10 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
             iterations := it :: !iterations;
             traces := trace :: !traces;
             observe_iteration i it
-          end
-      | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+          end;
+          boundary i
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break
+                   | Twmc_util.Fault.Abort _) as e) ->
           raise e
       | exception e ->
           Checkpoint.restore p before;
@@ -338,7 +353,8 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
             (Diagnostic.make ~severity:Diagnostic.Error ~entity:name
                ~code:"G400"
                (Printf.sprintf "rolled back: refinement raised %s"
-                  (Printexc.to_string e)))
+                  (Printexc.to_string e)));
+          boundary i
     end
   done;
   if Obs.metrics_on obs && !rollbacks > 0 then
@@ -360,7 +376,8 @@ let run ~rng ?(should_stop = fun () -> false) ?(resilient = false) ?pool
           List.iter add (Invariant.channel_graph r.Router.graph);
           List.iter add (Invariant.route r);
           Some r
-      | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break
+                   | Twmc_util.Fault.Abort _) as e) ->
           raise e
       | exception e ->
           add

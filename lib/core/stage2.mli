@@ -86,10 +86,21 @@ val run :
   ?resilient:bool ->
   ?pool:Twmc_util.Domain_pool.t ->
   ?obs:Twmc_obs.Ctx.t ->
+  ?start_iteration:int ->
+  ?on_iteration:(int -> unit) ->
   Twmc_place.Stage1.result ->
   result
 (** The full stage 2: [refinement_iterations] executions (from the
     placement's params) followed by a final routing pass.
+
+    [start_iteration] (default 1) begins the refinement loop at a later
+    index — used by {!Flow.resume} to re-enter the stage at the iteration
+    following a durable checkpoint; [n + 1] skips straight to the final
+    routing pass.  [on_iteration i] is called after refinement [i] has
+    executed (kept or rolled back — both leave the placement at a committed
+    iteration boundary), before the final route; budget-skipped iterations
+    do not invoke it.  The callback must not mutate the placement or draw
+    from [rng].
 
     With [resilient] (default false — the defaults reproduce the historic
     behavior exactly), each refinement runs against a

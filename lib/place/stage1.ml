@@ -92,6 +92,9 @@ let record_move_stats obs (s : Moves.stats) =
 
 let run ?(params = Params.default) ?core ?on_temp ?should_stop
     ?(obs = Obs.disabled) ?replica ~rng nl =
+  (* Fault site: fires per replica (inside the worker domain under
+     best-of-K), exercising the guarded driver's retry path. *)
+  Twmc_util.Fault.point "stage1.replica";
   let core =
     match core with
     | Some c -> c

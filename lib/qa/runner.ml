@@ -37,7 +37,9 @@ let run ?(oracles = true) ?extra_oracle c =
   | Ok nl -> (
       let t0 = Unix.gettimeofday () in
       match resilient ~jobs:1 c nl with
-      | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
+      | exception ((Out_of_memory | Stack_overflow | Sys.Break
+                   | Twmc_util.Fault.Abort _) as e) ->
+          raise e
       | exception e ->
           Failed
             [ Crash
@@ -78,7 +80,8 @@ let run ?(oracles = true) ?extra_oracle c =
             && !failures = []
           then begin
             match resilient ~jobs:2 c nl with
-            | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) ->
+            | exception ((Out_of_memory | Stack_overflow | Sys.Break
+                         | Twmc_util.Fault.Abort _) as e) ->
                 raise e
             | exception e ->
                 failures :=

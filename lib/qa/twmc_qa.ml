@@ -19,3 +19,4 @@ module Shrink = Shrink
 module Corpus = Corpus
 module Golden = Golden
 module Fuzz = Fuzz
+module Chaos = Chaos

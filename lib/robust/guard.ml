@@ -1,3 +1,5 @@
+module Fault = Twmc_util.Fault
+
 type t = { deadline : float option }
 
 let create ?time_budget_s () =
@@ -7,29 +9,53 @@ let create ?time_budget_s () =
   { deadline }
 
 let expired t =
-  match t.deadline with
+  (match t.deadline with
   | None -> false
-  | Some d -> Unix.gettimeofday () >= d
+  | Some d -> Unix.gettimeofday () >= d)
+  (* Simulated expiry: one atomic load, false whenever fault injection is
+     disarmed. *)
+  || Fault.deadline_pending ()
 
 let should_stop t () = expired t
 
 let remaining_s t =
   Option.map (fun d -> Float.max 0.0 (d -. Unix.gettimeofday ())) t.deadline
 
+(* A child guard can only ever be *tighter* than its parent: its deadline is
+   the earlier of the parent's and [now + budget_s].  A nested stage started
+   1 ms before the parent's deadline therefore inherits that 1 ms instead of
+   running unbudgeted. *)
+let with_remaining t ?budget_s () =
+  let own = Option.map (fun b -> Unix.gettimeofday () +. b) budget_s in
+  let deadline =
+    match (t.deadline, own) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  { deadline }
+
+let sleep_s d = if d > 0.0 then Unix.sleepf d
+
 type 'a outcome =
   | Ok of 'a
   | Failed of Diagnostic.t
 
-let stage t ~name f =
-  ignore t;
-  match f () with
-  | v -> Ok v
-  | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
-  | exception e ->
-      Failed
-        (Diagnostic.make ~severity:Diagnostic.Error ~entity:name ~code:"G400"
-           (Printf.sprintf "stage raised %s" (Printexc.to_string e)))
-
 let timeout_diag ~name =
   Diagnostic.make ~severity:Diagnostic.Warning ~entity:name ~code:"G401"
     (Printf.sprintf "stage cut short by the wall-clock budget")
+
+let stage t ~name f =
+  (* Budget propagation: a stage entered after the deadline never runs — the
+     SA loops only poll every 128 moves, so without this check an
+     already-expired guard would still buy a sweep's worth of work. *)
+  if expired t then Failed (timeout_diag ~name)
+  else
+    match f () with
+    | v -> Ok v
+    | exception ((Out_of_memory | Stack_overflow | Sys.Break | Fault.Abort _)
+                 as e) ->
+        raise e
+    | exception e ->
+        Failed
+          (Diagnostic.make ~severity:Diagnostic.Error ~entity:name ~code:"G400"
+             (Printf.sprintf "stage raised %s" (Printexc.to_string e)))

@@ -4,7 +4,12 @@
     receive a {!should_stop} closure to poll cooperatively (the SA inner
     loops check it every 128 moves) and are run through {!stage}, which
     converts any escaping exception into a [G400] diagnostic instead of
-    killing the flow. *)
+    killing the flow.
+
+    Fault injection: {!expired} also reports true once a
+    [Twmc_util.Fault.Deadline] rule has fired, so chaos campaigns can
+    simulate budget expiry at an exact execution point without touching the
+    clock. *)
 
 type t
 
@@ -19,14 +24,29 @@ val should_stop : t -> unit -> bool
 val expired : t -> bool
 val remaining_s : t -> float option
 
+val with_remaining : t -> ?budget_s:float -> unit -> t
+(** A child guard bounded by the parent's remaining budget: its deadline is
+    the earlier of the parent's and [now + budget_s].  Use it to hand a
+    nested stage its own (tighter) budget — the child can never outlive the
+    parent, so a stage started 1 ms before the parent's deadline inherits
+    that 1 ms instead of running unbudgeted. *)
+
+val sleep_s : float -> unit
+(** Block for the given number of seconds (no-op when non-positive); used
+    for the retry backoff between seed-perturbed stage-1 attempts. *)
+
 type 'a outcome =
   | Ok of 'a
-  | Failed of Diagnostic.t  (** The stage raised; diagnostic code G400. *)
+  | Failed of Diagnostic.t
+      (** The stage raised (code [G400]) or the guard was already expired on
+          entry (code [G401]). *)
 
 val stage : t -> name:string -> (unit -> 'a) -> 'a outcome
-(** Runs the thunk, containing exceptions.  [Out_of_memory] and
-    [Stack_overflow] are re-raised ([Sys.Break] too): masking those would
-    hide real resource exhaustion. *)
+(** Runs the thunk, containing exceptions.  If the guard is already expired
+    the thunk is not run at all and a [G401] diagnostic is returned.
+    [Out_of_memory] and [Stack_overflow] are re-raised ([Sys.Break] and the
+    fault injector's [Abort] too): masking those would hide real resource
+    exhaustion or a simulated process death. *)
 
 val timeout_diag : name:string -> Diagnostic.t
 (** A [G401] diagnostic noting that [name] was cut short by the budget. *)

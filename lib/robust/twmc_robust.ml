@@ -1,7 +1,12 @@
 (** Robustness layer: structured diagnostics, netlist lint, inter-stage
-    invariant checks, placement checkpointing and guarded execution. *)
+    invariant checks, placement checkpointing (in-memory and crash-durable),
+    guarded execution and deterministic fault injection. *)
 
 module Diagnostic = Diagnostic
+(* Deterministic fault injection; lives in [Twmc_util] so the sites in the
+   placement/routing/pool layers can reach it, re-exported here as the
+   robustness-facing entry point. *)
+module Fault = Twmc_util.Fault
 module Lint = Lint
 module Invariant = Invariant
 module Checkpoint = Checkpoint

@@ -25,6 +25,10 @@ let route ?(m = 20) ?budget_factor ?should_stop ?pool ?(obs = Obs.disabled)
      (task) order, which keeps phase 2's input — and therefore the whole
      routing — identical for any pool size. *)
   let enumerate _i (task : Pin_map.net_task) =
+    (* Fault site: fires per net, possibly on a worker domain; the injected
+       exception surfaces at the parallel join and is contained by the
+       refinement rollback (or the final-route guard). *)
+    Twmc_util.Fault.point "router.net";
     (* Cooperative timeout between nets: once the budget is gone, the
        remaining nets are reported unroutable rather than enumerated. *)
     if poll () then (task.Pin_map.net, [])

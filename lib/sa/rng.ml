@@ -4,6 +4,16 @@ let create ~seed = Random.State.make [| seed; 0x7157c3; seed lxor 0x5eed |]
 let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
 let copy = Random.State.copy
 
+(* Cursor (de)serialization for durable checkpoints: the marshaled state
+   replays the exact stream position, so a resumed flow consumes the same
+   draws an uninterrupted one would. *)
+let to_binary_string t = Marshal.to_string (t : Random.State.t) []
+
+let of_binary_string s =
+  match (Marshal.from_string s 0 : Random.State.t) with
+  | st -> Some st
+  | exception _ -> None
+
 let int_incl t k l =
   if k > l then invalid_arg "Rng.int_incl: k > l";
   k + Random.State.int t (l - k + 1)

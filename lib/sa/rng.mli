@@ -14,6 +14,13 @@ val split : t -> t
 
 val copy : t -> t
 
+val to_binary_string : t -> string
+(** Opaque cursor capturing the exact stream position; a generator restored
+    with {!of_binary_string} produces the same subsequent draws. *)
+
+val of_binary_string : string -> t option
+(** [None] if the cursor bytes are not a valid serialized generator. *)
+
 val int_incl : t -> int -> int -> int
 (** [int_incl rng k l] is the paper's [R(k, l)]: uniform on [k, l]
     inclusive; [k <= l] required. *)

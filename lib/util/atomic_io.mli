@@ -1,14 +1,25 @@
 (** Atomic file output: write to a temporary file in the destination
-    directory, then [Sys.rename] it over the target.  On POSIX the rename
-    is atomic, so a crash (or a concurrent reader) never observes a
-    truncated file — the target either holds its previous contents or the
-    complete new ones.  Every emitter in the package (netlist writer, SVG,
-    CSV) routes through here. *)
+    directory, verify the written size, then [Sys.rename] it over the
+    target.  On POSIX the rename is atomic, so a crash (or a concurrent
+    reader) never observes a truncated file — the target either holds its
+    previous contents or the complete new ones.  Every emitter in the
+    package (netlist writer, SVG, CSV, checkpoints) routes through here.
+
+    Fault site ["io.write"]: under an armed {!Fault} plan a write here can
+    fail with a transient [Sys_error], a detected short write, or a torn
+    write that simulates a mid-write crash (partial temp file left behind,
+    destination untouched). *)
 
 val write_file : string -> (out_channel -> unit) -> unit
 (** [write_file path f] runs [f] on a channel backed by a fresh temporary
-    file next to [path], closes it, and renames it to [path].  The
-    temporary file is removed if [f] or the rename raises. *)
+    file next to [path], checks that the file holds exactly the bytes [f]
+    wrote (raising [Sys_error] on a short write), and renames it to [path].
+    The temporary file is removed if [f], the size check or the rename
+    raises — except under a simulated crash ({!Fault.Torn_write}), which
+    leaves the partial temp file exactly as a killed process would. *)
 
 val write_string : string -> string -> unit
 (** [write_string path s] atomically replaces [path]'s contents with [s]. *)
+
+val read_string : string -> string
+(** Whole-file read (binary); raises [Sys_error] like [open_in]. *)

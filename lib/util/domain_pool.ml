@@ -128,6 +128,10 @@ let parallel_map (type b) t ~f arr : b array =
     let chunk c () =
       let lo = c * n / chunks and hi = (((c + 1) * n) / chunks) - 1 in
       try
+        (* Fault site: fires inside the worker (or helping caller), and the
+           injected exception rides the normal chunk-error channel back to
+           the join — a faulted task can never wedge the pool. *)
+        Fault.point "pool.task";
         for i = lo to hi do
           res.(i) <- Some (f i arr.(i))
         done
