@@ -147,6 +147,21 @@ let micro_tests () =
     Test.make ~name:"io: netlist parse"
       (Staged.stage (fun () -> ignore (Twmc_netlist.Parser.parse_string text)))
   in
+  let t_peko_generate =
+    let spec = Twmc_qa.Peko.spec_of_scale 25 in
+    (* The constructed-optima workload: one certified 25-cell case. *)
+    Test.make ~name:"qa-gap: peko generate (25 cells)"
+      (Staged.stage (fun () -> ignore (Twmc_workload.Peko.generate ~seed:1 spec)))
+  in
+  let t_peko_check =
+    let pnl, cert =
+      Twmc_workload.Peko.generate ~seed:1 (Twmc_qa.Peko.spec_of_scale 25)
+    in
+    (* The certificate checker: every oracle over one certified case. *)
+    Test.make ~name:"qa-gap: peko certificate check (25 cells)"
+      (Staged.stage (fun () ->
+           ignore (Twmc_qa.Oracle.check_certificate pnl cert)))
+  in
   let t_obs_disabled =
     let obs = Twmc_obs.Ctx.disabled in
     (* The disabled instrumentation path: one span + one point through a
@@ -157,7 +172,7 @@ let micro_tests () =
                Twmc_obs.Ctx.point obs ~name:"bench" ())))
   in
   [ t_schedule; t_expansion; t_generate; t_extract; t_steiner; t_modulation;
-    t_window; t_parse; t_obs_disabled ]
+    t_window; t_parse; t_peko_generate; t_peko_check; t_obs_disabled ]
 
 let bechamel_run tests =
   let open Bechamel in

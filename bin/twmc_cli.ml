@@ -786,15 +786,175 @@ let qa_chaos_cmd =
           every plan is contained, 6 otherwise.")
     Term.(const run $ seed $ plans $ out $ quiet)
 
+let qa_gap_cmd =
+  let module Sub = Twmc_qa.Suboptimality in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Sweep seed; a fixed (seed, a-c, scales) sweep is \
+                 byte-identical across runs.")
+  in
+  let a_c =
+    Arg.(value & opt int 8 & info [ "a-c" ] ~docv:"N"
+           ~doc:"Attempted moves per cell per temperature for the annealing \
+                 algorithms.  The tolerance band is only meaningful at the \
+                 a-c it was blessed with.")
+  in
+  let scales =
+    Arg.(value & opt (some (list int)) None
+         & info [ "scales" ] ~docv:"N,N,..."
+             ~doc:"Case sizes (cells) to sweep.  Default: the scales the \
+                   tolerance file covers, or 25,49,100 when blessing from \
+                   scratch.")
+  in
+  let algos =
+    Arg.(value & opt (some (list string)) None
+         & info [ "algos" ] ~docv:"NAME,..."
+             ~doc:"Algorithms to measure (stage1, stage2, shelf, spectral, \
+                   slicing).  Default: the algorithms the tolerance file \
+                   covers, or all of them when blessing from scratch.")
+  in
+  let tolerance =
+    Arg.(value & opt string "test/golden/peko.tolerance"
+         & info [ "tolerance" ] ~docv:"FILE"
+             ~doc:"The blessed tolerance band to gate against.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the sweep's quality-ratio curves here as JSON.")
+  in
+  let bless =
+    Arg.(value & flag
+         & info [ "bless" ]
+             ~doc:"Overwrite the tolerance file from this sweep instead of \
+                   gating — do this only for an intended quality change, \
+                   and commit the result.")
+  in
+  let margin =
+    Arg.(value & opt float 1.25
+         & info [ "margin" ] ~docv:"FACTOR"
+             ~doc:"Blessing headroom: each band is the measured ratio times \
+                   this factor.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress the per-measurement progress line.")
+  in
+  let run seed a_c scales algos tolerance out bless margin quiet =
+    let existing_bands =
+      if Sys.file_exists tolerance then
+        match
+          Sub.bands_of_string
+            (In_channel.with_open_text tolerance In_channel.input_all)
+        with
+        | Ok bands -> Some bands
+        | Error m ->
+            Printf.eprintf "%s: %s\n" tolerance m;
+            exit exit_invalid
+      else None
+    in
+    let scales =
+      match (scales, existing_bands) with
+      | Some s, _ -> s
+      | None, Some bands -> Sub.scales_of_bands bands
+      | None, None -> Twmc_qa.Peko.default_scales
+    in
+    let algos =
+      match (algos, existing_bands) with
+      | Some a, _ -> Some a
+      | None, Some bands -> Some (Sub.algos_of_bands bands)
+      | None, None -> None
+    in
+    let progress line =
+      if not quiet then (Printf.printf "  %s\n" line; flush stdout)
+    in
+    let sweep =
+      try Sub.run ?algos ~a_c ~progress ~scales ~seed ()
+      with Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit exit_invalid
+    in
+    List.iter
+      (fun p ->
+        Format.printf "%-9s %-9s optimal %10.0f  measured %12.1f  ratio %s  %s@."
+          p.Sub.algo p.Sub.case_name p.Sub.optimal p.Sub.measured
+          (if Float.is_finite p.Sub.ratio then
+             Printf.sprintf "%6.3f" p.Sub.ratio
+           else "   n/a")
+          (if p.Sub.status = "ok" then "" else p.Sub.status))
+      sweep.Sub.points;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let dir = Filename.dirname path in
+        if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Twmc_util.Atomic_io.write_string path (Sub.to_json_string sweep);
+        Format.printf "wrote %s@." path);
+    if bless then begin
+      (* Refuse to bless a sweep that is itself broken: every point must
+         have run, and no ratio may undercut the certified optimum. *)
+      let broken =
+        List.filter
+          (fun p ->
+            p.Sub.status <> "ok" || not (Float.is_finite p.Sub.ratio)
+            || p.Sub.ratio < 1.0 -. 1e-9)
+          sweep.Sub.points
+      in
+      if broken <> [] then begin
+        List.iter
+          (fun p ->
+            Format.printf "cannot bless %s on %s: %s (ratio %g)@." p.Sub.algo
+              p.Sub.case_name p.Sub.status p.Sub.ratio)
+          broken;
+        exit exit_qa_failure
+      end;
+      let dir = Filename.dirname tolerance in
+      if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Twmc_util.Atomic_io.write_string tolerance
+        (Sub.bands_to_string (Sub.bless ~margin sweep));
+      Format.printf "blessed %s (%d bands, margin %.2f) — commit it@."
+        tolerance
+        (List.length sweep.Sub.points)
+        margin;
+      exit 0
+    end;
+    match existing_bands with
+    | None ->
+        Printf.eprintf
+          "%s: no blessed tolerance band; run with --bless to create one\n"
+          tolerance;
+        exit exit_invalid
+    | Some bands -> (
+        match Sub.gate sweep bands with
+        | [] ->
+            Format.printf "quality gate: %d point(s) within the blessed band@."
+              (List.length sweep.Sub.points);
+            exit 0
+        | violations ->
+            Format.printf "quality gate: %d violation(s)@."
+              (List.length violations);
+            List.iter (fun v -> Format.printf "  %s@." v) violations;
+            exit exit_qa_failure)
+  in
+  Cmd.v
+    (Cmd.info "gap"
+       ~doc:
+         "Measure the quality gap — TEIL over the certified optimum — of \
+          every placement algorithm on constructed-optima (PEKO) cases and \
+          gate the ratios against the blessed tolerance band.  Exit 0 \
+          inside the band, 6 on a regression or an impossible (< 1) ratio.")
+    Term.(const run $ seed $ a_c $ scales $ algos $ tolerance $ out $ bless
+          $ margin $ quiet)
+
 let qa_cmd =
   Cmd.group
     (Cmd.info "qa"
        ~doc:
          "Correctness tooling: fuzzing with shrinking, metamorphic \
-          oracles, chaos fault-injection campaigns, and the \
-          golden-trajectory store.")
+          oracles, chaos fault-injection campaigns, the constructed-optima \
+          quality gate, and the golden-trajectory store.")
     [ qa_fuzz_cmd; qa_replay_cmd; qa_shrink_cmd; qa_chaos_cmd; qa_bless_cmd;
-      qa_diff_cmd ]
+      qa_diff_cmd; qa_gap_cmd ]
 
 let () =
   let info =

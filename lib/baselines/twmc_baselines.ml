@@ -4,3 +4,10 @@ module Baseline = Baseline
 module Shelf = Shelf
 module Spectral = Spectral
 module Slicing = Slicing
+
+let comparators :
+    (string * (seed:int -> Twmc_netlist.Netlist.t -> Baseline.placement_result))
+    list =
+  [ ("shelf", fun ~seed:_ nl -> Shelf.place nl);
+    ("spectral", fun ~seed:_ nl -> Spectral.place nl);
+    ("slicing", fun ~seed nl -> Slicing.place ~seed nl) ]

@@ -156,6 +156,48 @@ let parse_json s =
   | exception Bad (pos, msg) ->
       failwith (Printf.sprintf "at offset %d: %s" pos msg)
 
+(* The writing direction: serialize a [json] value so it round-trips
+   through {!parse_json}.  Whole numbers print without a fraction (ids and
+   counts stay readable); everything else gets full float precision. *)
+let json_to_string j =
+  let b = Buffer.create 256 in
+  let add_num f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.0f" f)
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> add_num f
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (Attr.json_escape s);
+        Buffer.add_char b '"'
+    | List l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string b ", ";
+            go x)
+          l;
+        Buffer.add_char b ']'
+    | Obj fs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_char b '"';
+            Buffer.add_string b (Attr.json_escape k);
+            Buffer.add_string b "\": ";
+            go v)
+          fs;
+        Buffer.add_char b '}'
+  in
+  go j;
+  Buffer.contents b
+
 (* --------------------------------------------------------------- events *)
 
 type event = {

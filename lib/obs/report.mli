@@ -23,6 +23,11 @@ val parse_json : string -> json
 (** Minimal JSON parser (objects, arrays, strings, numbers, booleans,
     null); raises [Failure] on malformed input. *)
 
+val json_to_string : json -> string
+(** Serializes so that [parse_json (json_to_string j)] reproduces [j]
+    (whole numbers print without a fraction, other floats at full
+    precision). *)
+
 val load : string -> event list
 (** Parses a JSONL trace file; raises [Failure "path:line: ..."] on the
     first malformed line. *)

@@ -17,6 +17,7 @@ type t = {
   core_scale : float;
   a_c : int;
   time_budget_s : float option;
+  peko : int;
 }
 
 let default =
@@ -31,7 +32,8 @@ let default =
     jobs_check = false;
     core_scale = 1.0;
     a_c = 4;
-    time_budget_s = None }
+    time_budget_s = None;
+    peko = 0 }
 
 let generate ~rng =
   let n_cells = Rng.int_incl rng 2 14 in
@@ -40,18 +42,32 @@ let generate ~rng =
   let mutations =
     List.filter (fun _ -> Rng.bool_with_prob rng 0.2) Mutate.all_kinds
   in
-  { seed = Rng.int_incl rng 0 999_983;
-    n_cells;
-    n_nets;
-    n_pins;
-    frac_custom = Rng.pick rng [| 0.0; 0.25; 0.5; 1.0 |];
-    frac_rectilinear = Rng.pick rng [| 0.0; 0.25; 1.0 |];
-    mutations;
-    replicas = (if Rng.bool_with_prob rng 0.15 then 2 else 1);
-    jobs_check = Rng.bool_with_prob rng 0.25;
-    core_scale = Rng.pick rng [| 1.0; 1.0; 1.0; 1.0; 0.5; 0.25; 0.0 |];
-    a_c = Rng.pick rng [| 2; 4; 8 |];
-    time_budget_s = (if Rng.bool_with_prob rng 0.08 then Some 2.0 else None) }
+  let case =
+    { seed = Rng.int_incl rng 0 999_983;
+      n_cells;
+      n_nets;
+      n_pins;
+      frac_custom = Rng.pick rng [| 0.0; 0.25; 0.5; 1.0 |];
+      frac_rectilinear = Rng.pick rng [| 0.0; 0.25; 1.0 |];
+      mutations;
+      replicas = (if Rng.bool_with_prob rng 0.15 then 2 else 1);
+      jobs_check = Rng.bool_with_prob rng 0.25;
+      core_scale = Rng.pick rng [| 1.0; 1.0; 1.0; 1.0; 0.5; 0.25; 0.0 |];
+      a_c = Rng.pick rng [| 2; 4; 8 |];
+      time_budget_s = (if Rng.bool_with_prob rng 0.08 then Some 2.0 else None);
+      peko = 0 }
+  in
+  (* Constructed-optima cases: a slice of the campaign runs on PEKO
+     netlists, whose certificate gives the runner an absolute TEIL lower
+     bound to check.  Mutations are cleared (a mutated netlist voids the
+     certificate) and the core override is dropped (a squeezed core forces
+     overlap, under which the bound does not apply). *)
+  if Rng.bool_with_prob rng 0.12 then
+    { case with
+      peko = Rng.pick rng [| 9; 16; 25 |];
+      mutations = [];
+      core_scale = 1.0 }
+  else case
 
 let to_string c =
   let b = Buffer.create 256 in
@@ -75,6 +91,7 @@ let to_string c =
     (match c.time_budget_s with
     | None -> "none"
     | Some s -> Printf.sprintf "%.17g" s);
+  line "peko %d" c.peko;
   Buffer.contents b
 
 let of_string s =
@@ -142,27 +159,49 @@ let of_string s =
                 else Option.map Option.some (float_of_string_opt v))
               None
           in
+          let* peko = get "peko" int_of_string_opt default.peko in
           Ok
             { seed; n_cells; n_nets; n_pins; frac_custom; frac_rectilinear;
-              mutations; replicas; jobs_check; core_scale; a_c; time_budget_s }))
+              mutations; replicas; jobs_check; core_scale; a_c; time_budget_s;
+              peko }))
   | header :: _ -> err "unrecognized header: %s" header
 
+let peko_spec c =
+  { (Peko.spec_of_scale c.peko) with
+    Twmc_workload.Peko.name = Printf.sprintf "fuzz-peko-%d" c.seed }
+
 let netlist c =
-  let spec =
-    { Synth.default_spec with
-      Synth.name = Printf.sprintf "fuzz-%d" c.seed;
-      n_cells = c.n_cells;
-      n_nets = c.n_nets;
-      n_pins = c.n_pins;
-      frac_custom = c.frac_custom;
-      frac_rectilinear = c.frac_rectilinear }
-  in
   match
-    let nl = Synth.generate ~seed:c.seed spec in
-    Mutate.apply_all ~rng:(Rng.create ~seed:(c.seed lxor 0x5a5a)) c.mutations nl
+    if c.peko > 0 then
+      let nl, _cert = Twmc_workload.Peko.generate ~seed:c.seed (peko_spec c) in
+      Mutate.apply_all
+        ~rng:(Rng.create ~seed:(c.seed lxor 0x5a5a))
+        c.mutations nl
+    else
+      let spec =
+        { Synth.default_spec with
+          Synth.name = Printf.sprintf "fuzz-%d" c.seed;
+          n_cells = c.n_cells;
+          n_nets = c.n_nets;
+          n_pins = c.n_pins;
+          frac_custom = c.frac_custom;
+          frac_rectilinear = c.frac_rectilinear }
+      in
+      let nl = Synth.generate ~seed:c.seed spec in
+      Mutate.apply_all
+        ~rng:(Rng.create ~seed:(c.seed lxor 0x5a5a))
+        c.mutations nl
   with
   | nl -> Ok nl
   | exception Invalid_argument m -> Error m
+
+let peko_certificate c =
+  (* The certificate is only a valid lower bound for the unmutated netlist
+     run on its own (unsqueezed) core. *)
+  if c.peko > 0 && c.mutations = [] && c.core_scale >= 0.999 then
+    let _nl, cert = Twmc_workload.Peko.generate ~seed:c.seed (peko_spec c) in
+    Some cert
+  else None
 
 let params c =
   { Params.default with Params.a_c = c.a_c; m_routes = 6; seed = c.seed }
@@ -185,6 +224,19 @@ let core c nl =
          ~y1:(h - (h / 2)))
 
 let pp ppf c =
+  if c.peko > 0 then
+    Format.fprintf ppf
+      "@[<h>seed %d, peko %d cells, mutations [%s], replicas %d%s, core ×%g, \
+       a_c %d%s@]"
+      c.seed c.peko
+      (String.concat "," (List.map Mutate.to_string c.mutations))
+      c.replicas
+      (if c.jobs_check then ", jobs-check" else "")
+      c.core_scale c.a_c
+      (match c.time_budget_s with
+      | None -> ""
+      | Some s -> Printf.sprintf ", budget %gs" s)
+  else
   Format.fprintf ppf
     "@[<h>seed %d, %dc/%dn/%dp, mutations [%s], replicas %d%s, core ×%g, a_c \
      %d%s@]"

@@ -21,6 +21,11 @@ type t = {
       (** Scale on the auto-determined core; [0.] is a degenerate core. *)
   a_c : int;  (** Annealing effort (attempted moves per cell per T). *)
   time_budget_s : float option;
+  peko : int;
+      (** When positive: generate a constructed-optima (PEKO) netlist of
+          this many cells instead of the [Synth] circuit, and the sizing
+          fields above are ignored.  {!peko_certificate} then exposes the
+          known-optimal TEIL for the runner's lower-bound oracle. *)
 }
 
 val default : t
@@ -46,5 +51,12 @@ val params : t -> Twmc_place.Params.t
 
 val core : t -> Twmc_netlist.Netlist.t -> Twmc_geometry.Rect.t option
 (** The core override implied by [core_scale]; [None] at scale 1. *)
+
+val peko_certificate : t -> Twmc_workload.Peko.certificate option
+(** The optimality certificate of the case's constructed-optima netlist —
+    [None] unless [peko > 0] with no mutations and an unscaled core (the
+    certificate is a TEIL lower bound only for the pristine instance:
+    mutations change the netlist, and a squeezed core forces overlap,
+    where the packing argument no longer applies). *)
 
 val pp : Format.formatter -> t -> unit

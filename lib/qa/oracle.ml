@@ -448,3 +448,183 @@ let eta_monotone ?eta ?(samples = 6) ~seed nl =
         a b
   in
   monotone @ proportional
+
+(* ------------------------------------------- constructed-optima oracle *)
+
+(* The PEKO certificate checker (DESIGN.md §14).  The certified optimum is
+   only a valid lower bound when the construction's hypotheses hold, so the
+   structural oracle re-verifies them from the netlist rather than trusting
+   the generator: identical single-variant square macros with every pin
+   committed at the bounding-box center, and unit net weights (TEIL = C1).
+   The remaining oracles check the certificate itself: the claimed optimum
+   equals the re-derived per-net packing bound, and the certified placement
+   is overlap-free, in-core, and actually achieves the claim. *)
+
+module Peko_gen = Twmc_workload.Peko
+
+let peko_structure nl (cert : Peko_gen.certificate) =
+  let s = cert.Peko_gen.spec.Peko_gen.cell_side in
+  let n = Netlist.n_cells nl in
+  let count =
+    if n <> cert.Peko_gen.spec.Peko_gen.n_cells then
+      fail "peko-structure" "netlist has %d cells, spec says %d" n
+        cert.Peko_gen.spec.Peko_gen.n_cells
+    else if Array.length cert.Peko_gen.positions <> n then
+      fail "peko-structure" "certificate carries %d positions for %d cells"
+        (Array.length cert.Peko_gen.positions)
+        n
+    else []
+  in
+  let cells =
+    Array.to_list nl.Netlist.cells
+    |> List.concat_map (fun (c : Cell.t) ->
+           let name = c.Cell.name in
+           let kind =
+             if c.Cell.kind <> Cell.Macro then
+               fail "peko-structure" "cell %s is not a macro" name
+             else if Array.length c.Cell.variants <> 1 then
+               fail "peko-structure" "cell %s has %d variants" name
+                 (Array.length c.Cell.variants)
+             else []
+           in
+           let shape =
+             match c.Cell.variants with
+             | [||] -> []
+             | vs -> (
+                 match Shape.tiles vs.(0).Cell.shape with
+                 | [ t ] when Rect.width t = s && Rect.height t = s -> []
+                 | tiles ->
+                     fail "peko-structure"
+                       "cell %s is not a single %dx%d tile (%d tiles, bbox \
+                        %dx%d)"
+                       name s s (List.length tiles)
+                       (Shape.width vs.(0).Cell.shape)
+                       (Shape.height vs.(0).Cell.shape))
+           in
+           let pins =
+             Array.to_list c.Cell.pins
+             |> List.concat_map (fun (pin : Pin.t) ->
+                    match pin.Pin.loc with
+                    | Pin.Fixed (0, 0) -> []
+                    | Pin.Fixed (x, y) ->
+                        fail "peko-structure"
+                          "pin %s.%s is committed at (%d,%d), not the center"
+                          name pin.Pin.name x y
+                    | Pin.Uncommitted _ ->
+                        fail "peko-structure" "pin %s.%s is uncommitted" name
+                          pin.Pin.name)
+           in
+           kind @ shape @ pins)
+  in
+  let nets =
+    Array.to_list nl.Netlist.nets
+    |> List.concat_map (fun (net : Net.t) ->
+           let hosts =
+             Array.to_list net.Net.pins
+             |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+             |> List.sort_uniq Stdlib.compare
+           in
+           let degree =
+             if List.length hosts < 2 then
+               fail "peko-structure" "net %s touches fewer than 2 cells"
+                 net.Net.name
+             else []
+           in
+           let weights =
+             if net.Net.hweight = 1.0 && net.Net.vweight = 1.0 then []
+             else
+               fail "peko-structure" "net %s has non-unit weights (%g, %g)"
+                 net.Net.name net.Net.hweight net.Net.vweight
+           in
+           degree @ weights)
+  in
+  count @ cells @ nets
+
+let peko_bound nl (cert : Peko_gen.certificate) =
+  let s = cert.Peko_gen.spec.Peko_gen.cell_side in
+  let bound = ref 0.0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      let hosts =
+        Array.to_list net.Net.pins
+        |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+        |> List.sort_uniq Stdlib.compare
+      in
+      let k = max 1 (List.length hosts) in
+      bound := !bound +. float_of_int (Peko_gen.opt_span k * s))
+    nl.Netlist.nets;
+  if rel_close ~tol:1e-12 !bound cert.Peko_gen.optimal_teil then []
+  else
+    fail "peko-bound"
+      "claimed optimum %.12g differs from re-derived packing bound %.12g"
+      cert.Peko_gen.optimal_teil !bound
+
+let peko_tiles (cert : Peko_gen.certificate) =
+  let s = cert.Peko_gen.spec.Peko_gen.cell_side in
+  Array.map
+    (fun (cx, cy) -> Rect.of_center_dims ~cx ~cy ~w:s ~h:s)
+    cert.Peko_gen.positions
+
+let peko_in_core (cert : Peko_gen.certificate) =
+  let tiles = peko_tiles cert in
+  let acc = ref [] in
+  Array.iteri
+    (fun i t ->
+      if not (Rect.contains_rect cert.Peko_gen.core t) then
+        acc :=
+          !acc
+          @ fail "peko-in-core" "cell %d at %a sticks out of the core %a" i
+              (fun () r -> Format.asprintf "%a" Rect.pp r)
+              t
+              (fun () r -> Format.asprintf "%a" Rect.pp r)
+              cert.Peko_gen.core)
+    tiles;
+  !acc
+
+let peko_overlap_free (cert : Peko_gen.certificate) =
+  let tiles = peko_tiles cert in
+  let n = Array.length tiles in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = Rect.inter_area tiles.(i) tiles.(j) in
+      if a > 0 then
+        acc :=
+          !acc
+          @ fail "peko-overlap-free" "cells %d and %d overlap by area %d" i j a
+    done
+  done;
+  !acc
+
+let peko_achieves nl (cert : Peko_gen.certificate) =
+  (* TEIL of the certified placement, net by net from the certified cell
+     centers (every pin sits exactly at its cell's center). *)
+  let teil = ref 0.0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      let minx = ref max_int and maxx = ref min_int in
+      let miny = ref max_int and maxy = ref min_int in
+      Array.iter
+        (fun (r : Net.pin_ref) ->
+          let x, y = cert.Peko_gen.positions.(r.Net.cell) in
+          if x < !minx then minx := x;
+          if x > !maxx then maxx := x;
+          if y < !miny then miny := y;
+          if y > !maxy then maxy := y)
+        net.Net.pins;
+      teil := !teil +. float_of_int (!maxx - !minx + (!maxy - !miny)))
+    nl.Netlist.nets;
+  if rel_close ~tol:1e-12 !teil cert.Peko_gen.optimal_teil then []
+  else
+    fail "peko-achieves"
+      "certified placement achieves TEIL %.12g, certificate claims %.12g"
+      !teil cert.Peko_gen.optimal_teil
+
+let check_certificate nl cert =
+  let structure = peko_structure nl cert in
+  (* The remaining oracles presuppose the structure (positions array sized
+     to the netlist in particular); skip them on a structural failure. *)
+  if structure <> [] then structure
+  else
+    peko_bound nl cert @ peko_in_core cert @ peko_overlap_free cert
+    @ peko_achieves nl cert

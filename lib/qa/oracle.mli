@@ -48,6 +48,19 @@ val check_flow : Twmc.Flow.result -> failure list
 (** {!check_placement} on the final placement plus {!check_route} on the
     final route when present. *)
 
+val check_certificate :
+  Twmc_netlist.Netlist.t -> Twmc_workload.Peko.certificate -> failure list
+(** The constructed-optima (PEKO) certificate pack: [peko-structure] (the
+    construction's hypotheses re-verified from the netlist — identical
+    single-variant square macros, every pin committed at the bounding-box
+    center, unit net weights, every net on at least two distinct cells),
+    [peko-bound] (the claimed optimal TEIL equals the per-net packing
+    bound [Σ opt_span(degree)·side] re-derived here), [peko-in-core] /
+    [peko-overlap-free] (the certified placement is legal), and
+    [peko-achieves] (the certified placement's TEIL, recomputed from the
+    certified centers, equals the claim — so the bound is attained and the
+    optimum is exact). *)
+
 val eta_monotone :
   ?eta:float -> ?samples:int -> seed:int -> Twmc_netlist.Netlist.t ->
   failure list

@@ -21,6 +21,49 @@ let outcome_keys = function
   | Failed fs -> List.map failure_key fs
   | Passed _ | Rejected _ -> []
 
+(* A run under a wall-clock budget [b] must come back in roughly [b]; the
+   classifier allows a generous 5·b + 10 s before calling it a blowout, so
+   only a genuinely ignored budget (a loop missing its should_stop poll)
+   trips it, never scheduler jitter.  Pure so the threshold is unit-testable
+   without waiting out a real budget. *)
+let classify_budget ~budget_s ~elapsed_s =
+  match budget_s with
+  | Some b when elapsed_s > (5.0 *. b) +. 10.0 -> Some (Budget_blowout elapsed_s)
+  | Some _ | None -> None
+
+(* The constructed-optima lower bound: when the case carries a PEKO
+   certificate, the flow's final TEIL must not beat the certified optimum —
+   provided the final placement is overlap-free, the regime where the
+   packing bound applies (annealing under a tight budget can legitimately
+   end with residual overlap, and overlapping cells can sit arbitrarily
+   close).  The certificate itself is re-verified first. *)
+let peko_oracle c (rr : Flow.resilient_result) =
+  match Fuzz_case.peko_certificate c with
+  | None -> []
+  | Some cert -> (
+      match rr.Flow.flow with
+      | None -> []
+      | Some r ->
+          let nl = r.Flow.netlist in
+          let cert_failures = Oracle.check_certificate nl cert in
+          if cert_failures <> [] then cert_failures
+          else
+            let p = r.Flow.stage2.Twmc.Stage2.placement in
+            let overlap_free = Twmc_place.Placement.c2_raw p <= 0.0 in
+            let optimal =
+              cert.Twmc_workload.Peko.optimal_teil in
+            if
+              overlap_free
+              && r.Flow.teil_final < optimal -. (1e-9 *. (1.0 +. optimal))
+            then
+              [ { Oracle.oracle = "peko-lower-bound";
+                  detail =
+                    Printf.sprintf
+                      "overlap-free final TEIL %.6g beats the certified \
+                       optimum %.6g"
+                      r.Flow.teil_final optimal } ]
+            else [])
+
 let resilient ~jobs c nl =
   Flow.run_resilient ~params:(Fuzz_case.params c) ~seed:c.Fuzz_case.seed
     ?core:(Fuzz_case.core c nl)
@@ -47,10 +90,12 @@ let run ?(oracles = true) ?extra_oracle c =
       | rr ->
           let elapsed = Unix.gettimeofday () -. t0 in
           let failures = ref [] in
-          (match c.Fuzz_case.time_budget_s with
-          | Some b when elapsed > (5.0 *. b) +. 10.0 ->
-              failures := [ Budget_blowout elapsed ]
-          | _ -> ());
+          (match
+             classify_budget ~budget_s:c.Fuzz_case.time_budget_s
+               ~elapsed_s:elapsed
+           with
+          | Some f -> failures := [ f ]
+          | None -> ());
           if oracles then begin
             (match rr.Flow.flow with
             | Some r ->
@@ -64,7 +109,10 @@ let run ?(oracles = true) ?extra_oracle c =
               !failures
               @ List.map
                   (fun f -> Oracle_violation f)
-                  (Oracle.eta_monotone ~seed:c.Fuzz_case.seed nl)
+                  (Oracle.eta_monotone ~seed:c.Fuzz_case.seed nl);
+            failures :=
+              !failures
+              @ List.map (fun f -> Oracle_violation f) (peko_oracle c rr)
           end;
           (match extra_oracle with
           | Some f ->

@@ -27,6 +27,14 @@ val failure_key : failure_kind -> string
 val outcome_keys : outcome -> string list
 (** The failure keys of a [Failed] outcome; [[]] otherwise. *)
 
+val classify_budget :
+  budget_s:float option -> elapsed_s:float -> failure_kind option
+(** The budget-blowout rule, exposed pure for direct unit testing: with a
+    budget [b], an elapsed time beyond [5·b + 10 s] is a
+    [Budget_blowout] — generous enough that only an ignored budget (a
+    loop missing its cooperative [should_stop] poll) trips it, never
+    scheduler jitter.  [None] without a budget. *)
+
 val run :
   ?oracles:bool ->
   ?extra_oracle:(Twmc.Flow.resilient_result -> Oracle.failure list) ->

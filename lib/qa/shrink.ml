@@ -19,7 +19,9 @@ let candidates c =
     { c with n_pins = 2 * c.n_nets };
     { c with mutations = [] } ]
   @ drop_one
-  @ [ { c with replicas = 1 };
+  @ [ { c with peko = 0 };
+      { c with peko = (if c.peko > 0 then max 4 (c.peko / 2) else 0) };
+      { c with replicas = 1 };
       { c with jobs_check = false };
       { c with core_scale = 1.0 };
       { c with time_budget_s = None };
@@ -34,6 +36,7 @@ let size c =
   + (if c.core_scale <> 1.0 then 10 else 0)
   + (match c.time_budget_s with Some _ -> 10 | None -> 0)
   + c.a_c
+  + (if c.peko > 0 then 10 + c.peko else 0)
 
 let reproduces ~run ~key cand =
   List.mem key (Runner.outcome_keys (run cand))

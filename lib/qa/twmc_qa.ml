@@ -20,3 +20,5 @@ module Corpus = Corpus
 module Golden = Golden
 module Fuzz = Fuzz
 module Chaos = Chaos
+module Peko = Peko
+module Suboptimality = Suboptimality

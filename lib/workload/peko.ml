@@ -1,0 +1,344 @@
+open Twmc_geometry
+open Twmc_netlist
+module Rng = Twmc_sa.Rng
+
+type spec = {
+  name : string;
+  n_cells : int;
+  cell_side : int;
+  nets_per_cell : float;
+  locality : float;
+  max_degree : int;
+  utilization : float;
+}
+
+let default_spec =
+  { name = "peko25";
+    n_cells = 25;
+    cell_side = 8;
+    nets_per_cell = 1.6;
+    locality = 0.7;
+    max_degree = 6;
+    utilization = 0.5 }
+
+type certificate = {
+  spec : spec;
+  seed : int;
+  core : Rect.t;
+  positions : (int * int) array;
+  optimal_teil : float;
+}
+
+let validate_spec spec =
+  if spec.n_cells < 2 then invalid_arg "Peko.generate: need >= 2 cells";
+  if spec.cell_side < 2 || spec.cell_side mod 2 <> 0 then
+    invalid_arg "Peko.generate: cell_side must be even and >= 2";
+  if not (spec.nets_per_cell > 0.0) then
+    invalid_arg "Peko.generate: nets_per_cell must be positive";
+  if spec.locality < 0.0 || spec.locality > 1.0 then
+    invalid_arg "Peko.generate: locality must be in [0, 1]";
+  if spec.max_degree < 2 then
+    invalid_arg "Peko.generate: max_degree must be >= 2";
+  if not (spec.utilization > 0.0 && spec.utilization <= 1.0) then
+    invalid_arg "Peko.generate: utilization must be in (0, 1]"
+
+(* Smallest half-perimeter, in cell pitches, of k points that are pairwise
+   at L-infinity distance >= 1: place them on a c-wide, ceil(k/c)-tall
+   grid block and take the best c.  Restricting c to [1, k] loses nothing
+   (c > k is dominated by c = k) and guarantees the row-major prefix of
+   the window attains the bound exactly. *)
+let opt_span k =
+  if k < 1 then invalid_arg "Peko.opt_span: degree must be >= 1";
+  let best = ref max_int in
+  for c = 1 to k do
+    let r = (k + c - 1) / c in
+    if c + r < !best then best := c + r
+  done;
+  !best - 2
+
+(* All (cols, rows) window dims attaining [opt_span k], smallest-width
+   first. *)
+let opt_windows k =
+  let target = opt_span k + 2 in
+  let acc = ref [] in
+  for c = k downto 1 do
+    let r = (k + c - 1) / c in
+    if c + r = target then acc := (c, r) :: !acc
+  done;
+  !acc
+
+let grid_dims n =
+  let gw = int_of_float (ceil (sqrt (float_of_int n))) in
+  let gw = max 2 gw in
+  let gh = (n + gw - 1) / gw in
+  (gw, gh)
+
+let even_ceil x = 2 * int_of_float (ceil (x /. 2.0))
+
+let degree_weights spec =
+  (* Geometric fall-off in the degree: locality 1 keeps every net 2-pin
+     (the most local possible), locality 0 is uniform up to the cap. *)
+  let base = 1.0 -. spec.locality in
+  Array.init
+    (spec.max_degree - 1)
+    (fun i -> if i = 0 then 1.0 else base ** float_of_int i)
+
+let sample_degree rng weights max_k =
+  let n = min (Array.length weights) (max_k - 1) in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. weights.(i)
+  done;
+  let target = Rng.unit_float rng *. !total in
+  let acc = ref 0.0 and found = ref 2 in
+  (try
+     for i = 0 to n - 1 do
+       acc := !acc +. weights.(i);
+       if !acc > target then begin
+         found := i + 2;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+(* The first k row-major cells of a (cols x rows) window anchored at grid
+   cell (row0, col0); None when the window would run off the populated part
+   of the grid (the last grid row may be ragged). *)
+let window_cells ~n ~gw ~col0 ~row0 ~cols k =
+  let cells = Array.make k 0 in
+  let ok = ref true in
+  for j = 0 to k - 1 do
+    let row = row0 + (j / cols) and col = col0 + (j mod cols) in
+    let idx = (row * gw) + col in
+    if idx >= n then ok := false else cells.(j) <- idx
+  done;
+  if !ok then Some (Array.to_list cells) else None
+
+(* Draw one net: pick a degree, an optimal window shape that fits the
+   grid, and a uniform anchor; retry anchors, then fall back to smaller
+   degrees.  Degree 2 always succeeds (any horizontally adjacent pair). *)
+let draw_net rng ~n ~gw ~gh weights max_degree =
+  let rec try_degree k =
+    if k <= 2 then begin
+      (* A guaranteed-local pair: cell i and its row neighbor. *)
+      let i = Rng.int_incl rng 0 (n - 2) in
+      let j = if (i + 1) mod gw = 0 then i - 1 else i + 1 in
+      [ min i j; max i j ]
+    end
+    else begin
+      let fitting =
+        List.filter (fun (c, r) -> c <= gw && r <= gh) (opt_windows k)
+      in
+      match fitting with
+      | [] -> try_degree (k - 1)
+      | windows ->
+          let rec try_anchor tries =
+            if tries = 0 then None
+            else begin
+              let c, r = Rng.pick_list rng windows in
+              let col0 = Rng.int_incl rng 0 (gw - c)
+              and row0 = Rng.int_incl rng 0 (gh - r) in
+              match window_cells ~n ~gw ~col0 ~row0 ~cols:c k with
+              | Some cells -> Some cells
+              | None -> try_anchor (tries - 1)
+            end
+          in
+          (match try_anchor 64 with
+          | Some cells -> cells
+          | None -> try_degree (k - 1))
+    end
+  in
+  let k = sample_degree rng weights (min max_degree n) in
+  try_degree k
+
+let generate ?(seed = 42) spec =
+  validate_spec spec;
+  let rng = Rng.create ~seed in
+  let n = spec.n_cells and s = spec.cell_side in
+  let gw, gh = grid_dims n in
+  let positions =
+    Array.init n (fun i ->
+        let row = i / gw and col = i mod gw in
+        ( (-(gw * s) / 2) + (col * s) + (s / 2),
+          (-(gh * s) / 2) + (row * s) + (s / 2) ))
+  in
+  let n_nets =
+    max 1 (int_of_float (Float.round (spec.nets_per_cell *. float_of_int n)))
+  in
+  let weights = degree_weights spec in
+  let nets = ref [] in
+  for _ = 1 to n_nets do
+    nets := draw_net rng ~n ~gw ~gh weights spec.max_degree :: !nets
+  done;
+  (* Coverage: every cell must carry a pin; orphans get one extra maximally
+     local 2-pin net to a grid neighbor. *)
+  let on_net = Array.make n false in
+  List.iter (List.iter (fun c -> on_net.(c) <- true)) !nets;
+  for i = 0 to n - 1 do
+    if not on_net.(i) then begin
+      let col = i mod gw in
+      let j =
+        if col > 0 then i - 1
+        else if col + 1 < gw && i + 1 < n then i + 1
+        else i - gw
+      in
+      nets := [ min i j; max i j ] :: !nets;
+      on_net.(i) <- true
+    end
+  done;
+  let nets = Array.of_list (List.rev !nets) in
+  (* Certified optimum, checked against the spans the constructed placement
+     actually achieves. *)
+  let optimal_teil = ref 0.0 in
+  Array.iter
+    (fun cells ->
+      let k = List.length cells in
+      let bound = opt_span k * s in
+      let xs = List.map (fun c -> fst positions.(c)) cells
+      and ys = List.map (fun c -> snd positions.(c)) cells in
+      let span l = List.fold_left max min_int l - List.fold_left min max_int l in
+      let achieved = span xs + span ys in
+      assert (achieved = bound);
+      optimal_teil := !optimal_teil +. float_of_int bound)
+    nets;
+  (* Core sized for the requested utilization, never smaller than the packed
+     block (ragged last grid row leaves whitespace even at utilization 1). *)
+  let target_area = float_of_int (n * s * s) /. spec.utilization in
+  let block_area = float_of_int (gw * s * gh * s) in
+  let f = Float.max 1.0 (sqrt (target_area /. block_area)) in
+  let cw = even_ceil (float_of_int (gw * s) *. f)
+  and ch = even_ceil (float_of_int (gh * s) *. f) in
+  let core = Rect.of_center_dims ~cx:0 ~cy:0 ~w:cw ~h:ch in
+  (* Netlist: identical square macros, every pin committed at the bbox
+     center (Builder local coordinates have the lower-left origin, so the
+     center is (s/2, s/2); Cell.macro recenters it to (0, 0)). *)
+  let cell_pins = Array.make n [] in
+  Array.iteri
+    (fun ni cells ->
+      List.iter (fun c -> cell_pins.(c) <- ni :: cell_pins.(c)) cells)
+    nets;
+  let b = Builder.create ~name:spec.name ~track_spacing:2 in
+  let shape = Shape.rectangle ~w:s ~h:s in
+  for ci = 0 to n - 1 do
+    let pins =
+      List.mapi
+        (fun k ni ->
+          Builder.at
+            ~name:(Printf.sprintf "p%d" k)
+            ~net:(Printf.sprintf "n%d" ni)
+            (s / 2, s / 2))
+        (List.rev cell_pins.(ci))
+    in
+    Builder.add_macro b ~name:(Printf.sprintf "c%d" ci) ~shape ~pins
+  done;
+  let nl = Builder.build b in
+  (nl, { spec; seed; core; positions; optimal_teil = !optimal_teil })
+
+(* Certificate serialization: line-oriented "key value" text mirroring the
+   Fuzz_case format, with the position list as a trailing block. *)
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let certificate_to_string cert =
+  let buf = Buffer.create 512 in
+  let s = cert.spec in
+  Buffer.add_string buf "twmc-peko v1\n";
+  Printf.bprintf buf "name %s\n" s.name;
+  Printf.bprintf buf "n_cells %d\n" s.n_cells;
+  Printf.bprintf buf "cell_side %d\n" s.cell_side;
+  Printf.bprintf buf "nets_per_cell %s\n" (float_str s.nets_per_cell);
+  Printf.bprintf buf "locality %s\n" (float_str s.locality);
+  Printf.bprintf buf "max_degree %d\n" s.max_degree;
+  Printf.bprintf buf "utilization %s\n" (float_str s.utilization);
+  Printf.bprintf buf "seed %d\n" cert.seed;
+  Printf.bprintf buf "core %d %d %d %d\n" cert.core.Rect.x0 cert.core.Rect.y0
+    cert.core.Rect.x1 cert.core.Rect.y1;
+  Printf.bprintf buf "optimal_teil %s\n" (float_str cert.optimal_teil);
+  Printf.bprintf buf "positions %d\n" (Array.length cert.positions);
+  Array.iter (fun (x, y) -> Printf.bprintf buf "%d %d\n" x y) cert.positions;
+  Buffer.contents buf
+
+let certificate_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty certificate"
+  | header :: rest when header = "twmc-peko v1" -> (
+      let kv = Hashtbl.create 16 in
+      let positions_tail = ref [] in
+      let rec split_kv = function
+        | [] -> ()
+        | line :: tl -> (
+            match String.index_opt line ' ' with
+            | None -> Hashtbl.replace kv line ""
+            | Some i ->
+                let k = String.sub line 0 i
+                and v = String.sub line (i + 1) (String.length line - i - 1) in
+                Hashtbl.replace kv k v;
+                if k = "positions" then positions_tail := tl else split_kv tl)
+      in
+      split_kv rest;
+      let get k parse =
+        match Hashtbl.find_opt kv k with
+        | None -> Error (Printf.sprintf "missing key %S" k)
+        | Some v -> (
+            match parse v with
+            | Some x -> Ok x
+            | None -> Error (Printf.sprintf "bad value for %S: %S" k v))
+      in
+      let ( let* ) = Result.bind in
+      let* name = get "name" (fun v -> Some v) in
+      let* n_cells = get "n_cells" int_of_string_opt in
+      let* cell_side = get "cell_side" int_of_string_opt in
+      let* nets_per_cell = get "nets_per_cell" float_of_string_opt in
+      let* locality = get "locality" float_of_string_opt in
+      let* max_degree = get "max_degree" int_of_string_opt in
+      let* utilization = get "utilization" float_of_string_opt in
+      let* seed = get "seed" int_of_string_opt in
+      let* core =
+        get "core" (fun v ->
+            match
+              String.split_on_char ' ' v |> List.filter_map int_of_string_opt
+            with
+            | [ x0; y0; x1; y1 ] when x0 <= x1 && y0 <= y1 ->
+                Some (Rect.make ~x0 ~y0 ~x1 ~y1)
+            | _ -> None)
+      in
+      let* optimal_teil = get "optimal_teil" float_of_string_opt in
+      let* n_positions = get "positions" int_of_string_opt in
+      let parse_pos line =
+        match
+          String.split_on_char ' ' line |> List.filter_map int_of_string_opt
+        with
+        | [ x; y ] -> Some (x, y)
+        | _ -> None
+      in
+      let rec parse_all acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: tl -> (
+            match parse_pos l with
+            | Some p -> parse_all (p :: acc) tl
+            | None -> Error (Printf.sprintf "bad position line %S" l))
+      in
+      let* positions = parse_all [] !positions_tail in
+      if List.length positions <> n_positions then
+        Error
+          (Printf.sprintf "expected %d positions, found %d" n_positions
+             (List.length positions))
+      else
+        Ok
+          { spec =
+              { name; n_cells; cell_side; nets_per_cell; locality; max_degree;
+                utilization };
+            seed;
+            core;
+            positions = Array.of_list positions;
+            optimal_teil })
+  | header :: _ ->
+      Error (Printf.sprintf "bad certificate header %S" header)

@@ -1,0 +1,70 @@
+(** Constructed-optima benchmark generator (PEKO-style).
+
+    Cong et al. ("Locality and Utilization in Placement Suboptimality")
+    build Placement Examples with Known Optimal wirelength: first lay the
+    cells in a packed, overlap-free placement, then draw each net only
+    among a spatially local clique whose bounding box is {e provably} the
+    smallest any overlap-free placement can achieve for a net of that
+    degree.  The constructed placement then attains the sum of the per-net
+    lower bounds, so its TEIL is a certified optimum — an absolute
+    yardstick for the quality of every placer in this package.
+
+    The construction here makes every cell an identical axis-aligned
+    [cell_side × cell_side] square macro with {e all} of its pins committed
+    at the exact cell center.  Two such squares are overlap-free iff their
+    centers are at L∞ distance at least [cell_side]; a standard packing
+    argument then shows that the centers of [k] overlap-free cells with
+    bounding box [W × H] satisfy [(⌊W/s⌋+1)·(⌊H/s⌋+1) ≥ k], so the span
+    [W + H] of any net of degree [k] is at least [opt_span k · s].  Each
+    generated net is placed on a compact [r × c] sub-block of the cell grid
+    attaining exactly that bound, hence the total is optimal.  Pins at the
+    center are invariant under all eight orientations and every cell has a
+    single variant, so no placer degree of freedom can beat the bound. *)
+
+type spec = {
+  name : string;
+  n_cells : int;  (** At least 2. *)
+  cell_side : int;  (** Side of every (square) cell; even, at least 2. *)
+  nets_per_cell : float;
+      (** Target net count as a fraction of the cell count (positive). *)
+  locality : float;
+      (** In [0, 1]: weight of low-degree (spatially local) nets.  1 makes
+          every net 2-pin; 0 draws degrees uniformly up to [max_degree]. *)
+  max_degree : int;  (** Net-degree cap (at least 2). *)
+  utilization : float;
+      (** In (0, 1]: total cell area over core area.  Scales the certified
+          core around the packed block; the optimum is unaffected. *)
+}
+
+val default_spec : spec
+(** 25 cells of side 8, ~1.6 nets per cell, locality 0.7, utilization 0.5. *)
+
+type certificate = {
+  spec : spec;
+  seed : int;
+  core : Twmc_geometry.Rect.t;
+  positions : (int * int) array;
+      (** Certified-optimal cell centers, indexed like the netlist cells. *)
+  optimal_teil : float;
+      (** The certified optimum: [Σ_nets opt_span (degree) · cell_side],
+          provably a lower bound on the TEIL of {e any} overlap-free
+          placement of the generated netlist, and achieved by
+          [positions]. *)
+}
+
+val opt_span : int -> int
+(** [opt_span k] is the smallest achievable net span (in units of the cell
+    side) over all overlap-free placements of [k] distinct cells:
+    [min_{c ≥ 1} (c + ⌈k/c⌉) − 2].  Raises [Invalid_argument] for
+    [k < 1]. *)
+
+val generate : ?seed:int -> spec -> Twmc_netlist.Netlist.t * certificate
+(** Deterministic in [(spec, seed)].  Every cell carries at least one pin;
+    every net connects 2–[max_degree] distinct cells.  Raises
+    [Invalid_argument] on a malformed spec (odd or small [cell_side],
+    [n_cells < 2], [utilization] outside (0, 1], ...). *)
+
+val certificate_to_string : certificate -> string
+(** Stable textual form; round-trips with {!certificate_of_string}. *)
+
+val certificate_of_string : string -> (certificate, string) result

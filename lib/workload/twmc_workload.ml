@@ -3,3 +3,4 @@
 module Synth = Synth
 module Circuits = Circuits
 module Mutate = Mutate
+module Peko = Peko

@@ -245,6 +245,173 @@ let test_bridge_leaves_single_spanning_net () =
   checkb "original had several spanning nets" true (spanning nl > 1);
   check "exactly one bridge remains" 1 (spanning nl')
 
+(* ------------------------------------------------- constructed optima *)
+
+(* Everything here re-derives the claims locally — the Twmc_qa certificate
+   checker is deliberately not used, so generator and checker stay
+   independent witnesses. *)
+
+let peko_spec ?(n = 25) ?(locality = 0.7) ?(utilization = 0.5) () =
+  { Peko.default_spec with
+    Peko.n_cells = n;
+    locality;
+    utilization }
+
+let test_peko_opt_span_table () =
+  (* min_c (c + ceil(k/c)) - 2, by hand. *)
+  List.iter
+    (fun (k, expect) -> check (Printf.sprintf "opt_span %d" k) expect (Peko.opt_span k))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (6, 3); (7, 4); (9, 4);
+      (12, 5); (16, 6); (20, 7) ]
+
+let test_peko_deterministic () =
+  let nl_a, cert_a = Peko.generate ~seed:11 (peko_spec ()) in
+  let nl_b, cert_b = Peko.generate ~seed:11 (peko_spec ()) in
+  Alcotest.(check string)
+    "netlist bytes" (Writer.to_string nl_a) (Writer.to_string nl_b);
+  Alcotest.(check string)
+    "certificate bytes"
+    (Peko.certificate_to_string cert_a)
+    (Peko.certificate_to_string cert_b)
+
+let peko_tile (cert : Peko.certificate) i =
+  let s = cert.Peko.spec.Peko.cell_side in
+  let cx, cy = cert.Peko.positions.(i) in
+  Twmc_geometry.Rect.of_center_dims ~cx ~cy ~w:s ~h:s
+
+let test_peko_overlap_free_and_in_core () =
+  List.iter
+    (fun (n, u) ->
+      let _nl, cert = Peko.generate ~seed:3 (peko_spec ~n ~utilization:u ()) in
+      let tiles = Array.init n (peko_tile cert) in
+      checkb "pairwise disjoint" true
+        (Twmc_geometry.Rect.pairwise_disjoint (Array.to_list tiles));
+      Array.iter
+        (fun t ->
+          checkb "inside core" true
+            (Twmc_geometry.Rect.contains_rect cert.Peko.core t))
+        tiles)
+    [ (2, 1.0); (9, 0.5); (25, 0.9); (40, 0.3) ]
+
+let test_peko_achieves_claim () =
+  (* The certified placement's TEIL, summed net by net from the certified
+     centers, must equal the claimed optimum exactly. *)
+  let nl, cert = Peko.generate ~seed:5 (peko_spec ~n:30 ()) in
+  let teil = ref 0.0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      let xs = ref [] and ys = ref [] in
+      Array.iter
+        (fun (r : Net.pin_ref) ->
+          let x, y = cert.Peko.positions.(r.Net.cell) in
+          xs := x :: !xs;
+          ys := y :: !ys)
+        net.Net.pins;
+      let span l =
+        List.fold_left max min_int l - List.fold_left min max_int l
+      in
+      teil := !teil +. float_of_int (span !xs + span !ys))
+    nl.Netlist.nets;
+  Alcotest.(check (float 1e-9)) "achieved = claimed" cert.Peko.optimal_teil !teil
+
+let test_peko_every_cell_on_a_net () =
+  List.iter
+    (fun seed ->
+      let nl, _ = Peko.generate ~seed (peko_spec ~n:23 ()) in
+      let on_net = Array.make (Netlist.n_cells nl) false in
+      Array.iter
+        (fun (net : Net.t) ->
+          Array.iter
+            (fun (r : Net.pin_ref) -> on_net.(r.Net.cell) <- true)
+            net.Net.pins)
+        nl.Netlist.nets;
+      Array.iteri
+        (fun i b -> checkb (Printf.sprintf "cell %d on a net" i) true b)
+        on_net)
+    [ 1; 2; 3 ]
+
+let test_peko_pins_at_center () =
+  let nl, _ = Peko.generate ~seed:9 (peko_spec ()) in
+  Array.iter
+    (fun (c : Cell.t) ->
+      check "one variant" 1 (Array.length c.Cell.variants);
+      Array.iter
+        (fun (p : Pin.t) ->
+          match p.Pin.loc with
+          | Pin.Fixed (0, 0) -> ()
+          | _ -> Alcotest.failf "pin %s.%s not at the center" c.Cell.name p.Pin.name)
+        c.Cell.pins)
+    nl.Netlist.cells
+
+let test_peko_certificate_roundtrip () =
+  let _nl, cert = Peko.generate ~seed:21 (peko_spec ~n:12 ()) in
+  match Peko.certificate_of_string (Peko.certificate_to_string cert) with
+  | Error m -> Alcotest.failf "round-trip failed: %s" m
+  | Ok cert' ->
+      Alcotest.(check string)
+        "bytes stable"
+        (Peko.certificate_to_string cert)
+        (Peko.certificate_to_string cert');
+      checkb "optimal equal" true
+        (cert.Peko.optimal_teil = cert'.Peko.optimal_teil)
+
+let test_peko_invalid_specs () =
+  let expect_invalid name spec =
+    match Peko.generate ~seed:1 spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "one cell" { (peko_spec ()) with Peko.n_cells = 1 };
+  expect_invalid "odd side" { (peko_spec ()) with Peko.cell_side = 7 };
+  expect_invalid "zero util" { (peko_spec ()) with Peko.utilization = 0.0 };
+  expect_invalid "util > 1" { (peko_spec ()) with Peko.utilization = 1.5 };
+  expect_invalid "bad locality" { (peko_spec ()) with Peko.locality = 2.0 };
+  expect_invalid "degree 1" { (peko_spec ()) with Peko.max_degree = 1 };
+  expect_invalid "no nets" { (peko_spec ()) with Peko.nets_per_cell = 0.0 }
+
+let test_peko_locality_one_all_two_pin () =
+  let nl, _ = Peko.generate ~seed:2 (peko_spec ~locality:1.0 ()) in
+  Array.iter
+    (fun (net : Net.t) ->
+      let hosts =
+        Array.to_list net.Net.pins
+        |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+        |> List.sort_uniq compare
+      in
+      check "2-pin net" 2 (List.length hosts))
+    nl.Netlist.nets
+
+let qcheck_peko_construction =
+  QCheck.Test.make ~name:"peko bound is achieved on every spec" ~count:60
+    QCheck.(
+      quad (int_range 2 60) (int_range 0 10) (int_range 1 10) (int_range 0 9999))
+    (fun (n0, loc10, util10, seed) ->
+      let n = max 2 n0 in
+      let locality = float_of_int (min 10 (max 0 loc10)) /. 10.0 in
+      let utilization = float_of_int (min 10 (max 1 util10)) /. 10.0 in
+      let nl, cert =
+        Peko.generate ~seed (peko_spec ~n ~locality ~utilization ())
+      in
+      (* Overlap-free, in-core, and the claim equals the per-net bound
+         recomputed from the actual net degrees. *)
+      let tiles = Array.init n (peko_tile cert) in
+      let s = cert.Peko.spec.Peko.cell_side in
+      let bound = ref 0.0 in
+      Array.iter
+        (fun (net : Net.t) ->
+          let hosts =
+            Array.to_list net.Net.pins
+            |> List.map (fun (r : Net.pin_ref) -> r.Net.cell)
+            |> List.sort_uniq compare
+          in
+          bound := !bound +. float_of_int (Peko.opt_span (List.length hosts) * s))
+        nl.Netlist.nets;
+      Twmc_geometry.Rect.pairwise_disjoint (Array.to_list tiles)
+      && Array.for_all
+           (Twmc_geometry.Rect.contains_rect cert.Peko.core)
+           tiles
+      && Float.abs (!bound -. cert.Peko.optimal_teil) <= 1e-9)
+
 let () =
   let qt = List.map (QCheck_alcotest.to_alcotest ~long:false) in
   Alcotest.run "workload"
@@ -260,6 +427,23 @@ let () =
         :: Alcotest.test_case "all rectilinear" `Quick test_all_rectilinear
         :: Alcotest.test_case "two-cell circuit" `Quick test_two_cell_circuit
         :: qt [ qcheck_edge_specs ] );
+      ( "peko",
+        Alcotest.test_case "opt_span table" `Quick test_peko_opt_span_table
+        :: Alcotest.test_case "deterministic" `Quick test_peko_deterministic
+        :: Alcotest.test_case "overlap-free, in-core" `Quick
+             test_peko_overlap_free_and_in_core
+        :: Alcotest.test_case "achieves claimed optimum" `Quick
+             test_peko_achieves_claim
+        :: Alcotest.test_case "every cell on a net" `Quick
+             test_peko_every_cell_on_a_net
+        :: Alcotest.test_case "pins at cell centers" `Quick
+             test_peko_pins_at_center
+        :: Alcotest.test_case "certificate round-trip" `Quick
+             test_peko_certificate_roundtrip
+        :: Alcotest.test_case "invalid specs" `Quick test_peko_invalid_specs
+        :: Alcotest.test_case "locality 1 means 2-pin nets" `Quick
+             test_peko_locality_one_all_two_pin
+        :: qt [ qcheck_peko_construction ] );
       ( "mutate",
         [ Alcotest.test_case "valid netlists" `Quick
             test_mutators_build_valid_netlists;
