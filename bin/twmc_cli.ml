@@ -3,7 +3,8 @@
 open Cmdliner
 
 (* Exit codes: 0 clean, 3 degraded result, 4 invalid input, 5 budget
-   expired (1/2/124/125 belong to cmdliner). *)
+   expired, 6 QA failure, 7 perf regression (1/2/124/125 belong to
+   cmdliner). *)
 let exit_invalid = 4
 
 let exit_of_status = function
@@ -164,8 +165,9 @@ let obs_term =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE.jsonl"
           ~doc:
-            "Write a structured JSONL trace (spans and points, schema v1) \
-             here.  Inspect with $(b,twmc report).")
+            "Write a structured JSONL trace (spans and points, schema v2) \
+             here.  Inspect with $(b,twmc report), watch live with \
+             $(b,twmc report tail).")
   in
   let metrics =
     Arg.(
@@ -316,8 +318,19 @@ let flow_cmd =
              routing and costs — the byte-identity witness used by the \
              kill-and-resume checks.")
   in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Crash black box: dump the flight recorder's ring of recent \
+             events here on any non-clean exit and on the way out of any \
+             escaping crash (nothing is written on a clean run).  The dump \
+             is a valid trace; inspect with $(b,twmc report).")
+  in
   let run (params, seed) (jobs, replicas) strict time_budget_s max_retries
-      (ckpt_dir, ckpt_every, resume) digest obs_spec file =
+      (ckpt_dir, ckpt_every, resume) digest flight obs_spec file =
     let nl = read_netlist file in
     let obs, obs_finish = make_obs obs_spec in
     let checkpoint =
@@ -333,12 +346,12 @@ let flow_cmd =
             exit 2
         | Some cfg ->
             Twmc.Flow.resume ~params ~strict ?time_budget_s ~jobs
-              ~checkpoint:cfg ~obs
+              ~checkpoint:cfg ?flight ~obs
               ~path:(Twmc.Flow.checkpoint_path cfg nl)
               nl
       else
         Twmc.Flow.run_resilient ~params ~seed ~strict ?time_budget_s
-          ~max_retries ~jobs ~replicas ?checkpoint ~obs nl
+          ~max_retries ~jobs ~replicas ?checkpoint ?flight ~obs nl
     in
     obs_finish ();
     List.iter
@@ -377,7 +390,7 @@ let flow_cmd =
           $(b,--resume)).  Exit codes: 0 clean, 3 degraded, 4 invalid \
           input, 5 budget expired.")
     Term.(const run $ params_term $ parallel_term $ strict_term $ time_budget
-          $ max_retries $ checkpoint_term $ digest $ obs_term $ file)
+          $ max_retries $ checkpoint_term $ digest $ flight $ obs_term $ file)
 
 (* -------------------------------------------------------------- route *)
 
@@ -452,32 +465,209 @@ let draw_cmd =
 
 (* ------------------------------------------------------------- report *)
 
-let report_cmd =
+(* Exit code 7: [report compare] found a kernel slower than its budget —
+   distinct from 4 (unreadable or invalid input). *)
+let exit_regress = 7
+
+(* Load + validate a trace, or die with 4; shared by summary and health. *)
+let load_trace file =
+  match Twmc_obs.Report.load file with
+  | exception Failure msg ->
+      Printf.eprintf "%s\n" msg;
+      exit exit_invalid
+  | events -> (
+      match Twmc_obs.Report.validate events with
+      | [] -> events
+      | problems ->
+          List.iter (fun p -> Printf.eprintf "%s: %s\n" file p) problems;
+          exit exit_invalid)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jsonl")
+
+let report_summary_term =
+  let run file =
+    Format.printf "%a@." Twmc_obs.Report.pp_summary (load_trace file);
+    exit 0
+  in
+  Term.(const run $ trace_file_arg)
+
+let report_summary_cmd =
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Validate a --trace JSONL file (schema, balanced spans, monotonic \
+          timestamps) and summarize it: per-stage wall time, slowest \
+          spans, the stage-1 acceptance curve and the router overflow \
+          trend.  Exits 0 when valid, 4 otherwise.  ($(b,twmc report \
+          FILE) is shorthand for this command.)")
+    report_summary_term
+
+let report_health_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the summary as one JSON document instead of tables.")
+  in
+  let run json file =
+    let h = Twmc_obs.Health.of_events (load_trace file) in
+    if json then
+      print_endline
+        (Twmc_obs.Report.json_to_string (Twmc_obs.Health.to_json h))
+    else Format.printf "%a@." Twmc_obs.Health.pp h;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Derive anneal-health diagnostics from a --trace file: the \
+          acceptance curve against the paper's target profile, per \
+          move-class efficacy, the range-limiter trajectory, estimator \
+          convergence and router overflow decay, plus findings when any of \
+          them is off-profile.  Exits 0 when the trace is valid (findings \
+          are advisory), 4 otherwise.")
+    Term.(const run $ json $ trace_file_arg)
+
+let report_compare_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let max_regress =
+    Arg.(
+      value & opt float 25.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Regression budget: a kernel more than $(docv) percent slower \
+             than the old snapshot fails the gate (default 25).")
+  in
+  let run max_regress old_file new_file =
+    let load p =
+      match Twmc_obs.Report.load_bench p with
+      | kernels -> kernels
+      | exception Failure m ->
+          Printf.eprintf "%s\n" m;
+          exit exit_invalid
+    in
+    let c =
+      Twmc_obs.Report.compare_benches ~max_regress_pct:max_regress
+        (load old_file) (load new_file)
+    in
+    Format.printf "%a@." Twmc_obs.Report.pp_bench_comparison c;
+    exit (if c.Twmc_obs.Report.regressions = [] then 0 else exit_regress)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two bench-kernel snapshots (the \
+          $(b,{\"kernels\":[...]}) JSON written by \
+          $(b,bench/main.exe -- micro --json)) and gate on slowdowns.  \
+          Exits 0 inside the budget, 7 when any kernel regressed by more \
+          than $(b,--max-regress) percent, 4 on unreadable input.")
+    Term.(const run $ max_regress $ old_file $ new_file)
+
+let report_tail_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jsonl")
   in
-  let run file =
-    match Twmc_obs.Report.load file with
-    | exception Failure msg ->
-        Printf.eprintf "%s\n" msg;
+  let no_follow =
+    Arg.(
+      value & flag
+      & info [ "no-follow" ]
+          ~doc:
+            "Render what is in the file now and exit instead of waiting \
+             for more data.")
+  in
+  let run no_follow file =
+    let st = Twmc_obs.Progress.create () in
+    let pending = Buffer.create 4096 in
+    let chunk = Bytes.create 65536 in
+    let feed_line line =
+      (* A live writer can leave the last line torn or mid-flush; skip
+         anything unparsable rather than dying on it. *)
+      if String.trim line <> "" then
+        match
+          Twmc_obs.Report.event_of_json (Twmc_obs.Report.parse_json line)
+        with
+        | exception Failure _ -> ()
+        | e -> (
+            match Twmc_obs.Progress.feed st e with
+            | Some msg ->
+                print_endline msg;
+                flush stdout
+            | None -> ())
+    in
+    let drain () =
+      let s = Buffer.contents pending in
+      let rec go start =
+        match String.index_from_opt s start '\n' with
+        | None -> start
+        | Some nl ->
+            feed_line (String.sub s start (nl - start));
+            go (nl + 1)
+      in
+      let consumed = go 0 in
+      if consumed > 0 then begin
+        let rest = String.sub s consumed (String.length s - consumed) in
+        Buffer.clear pending;
+        Buffer.add_string pending rest
+      end
+    in
+    let fd =
+      try Unix.openfile file [ Unix.O_RDONLY ] 0
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "%s: %s\n" file (Unix.error_message e);
         exit exit_invalid
-    | events -> (
-        match Twmc_obs.Report.validate events with
-        | [] ->
-            Format.printf "%a@." Twmc_obs.Report.pp_summary events;
-            exit 0
-        | problems ->
-            List.iter (fun p -> Printf.eprintf "%s: %s\n" file p) problems;
-            exit exit_invalid)
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        (* Incremental reads off a raw fd: unlike an in_channel, EOF does
+           not latch, so the same loop follows a file that is still being
+           written. *)
+        let rec loop () =
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes pending chunk 0 n;
+            drain ();
+            loop ()
+          end
+          else if no_follow || Twmc_obs.Progress.finished st then ()
+          else begin
+            Unix.sleepf 0.2;
+            loop ()
+          end
+        in
+        loop ());
+    exit 0
   in
   Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Follow a --trace file as it is written and render one status \
+          line per interesting event (temperatures, route passes, the \
+          winning replica, the terminal status); stops when the trace \
+          records the flow's end.  With $(b,--no-follow), render what is \
+          there and exit.")
+    Term.(const run $ no_follow $ file)
+
+let report_cmd =
+  Cmd.group
+    ~default:report_summary_term
     (Cmd.info "report"
        ~doc:
-         "Validate a --trace JSONL file (schema, balanced spans, monotonic \
-          timestamps) and summarize it: per-stage wall time, slowest spans, \
-          the stage-1 acceptance curve and the router overflow trend.  \
-          Exits 0 when valid, 4 otherwise.")
-    Term.(const run $ file)
+         "Trace and bench analytics.  With just a FILE.jsonl, validate the \
+          --trace file (schema, balanced spans, monotonic timestamps) and \
+          summarize it: per-stage wall time, slowest spans, the stage-1 \
+          acceptance curve and the router overflow trend (exit 0 when \
+          valid, 4 otherwise).  Subcommands: $(b,health) for anneal-health \
+          diagnostics, $(b,compare) for the bench-regression gate, \
+          $(b,tail) to watch a live run.")
+    [ report_summary_cmd; report_health_cmd; report_compare_cmd;
+      report_tail_cmd ]
 
 (* --------------------------------------------------------- experiment *)
 
@@ -761,7 +951,8 @@ let qa_chaos_cmd =
   let out =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"DIR"
-             ~doc:"Save a replayable artifact for every survivor here.")
+             ~doc:"Save a replayable artifact and a flight-recorder dump \
+                   for every survivor here.")
   in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the progress dots.")
@@ -957,6 +1148,21 @@ let qa_cmd =
       qa_diff_cmd; qa_gap_cmd ]
 
 let () =
+  (* Back-compat: [twmc report FILE.jsonl] predates the report subcommands;
+     a first operand that is not a subcommand name routes to [summary]. *)
+  let argv =
+    let a = Sys.argv in
+    if
+      Array.length a >= 3
+      && a.(1) = "report"
+      && (match a.(2) with
+         | "summary" | "health" | "compare" | "tail" -> false
+         | s -> String.length s > 0 && s.[0] <> '-')
+    then
+      Array.concat
+        [ [| a.(0); "report"; "summary" |]; Array.sub a 2 (Array.length a - 2) ]
+    else a
+  in
   let info =
     Cmd.info "twmc" ~version:"1.0.0"
       ~doc:
@@ -964,6 +1170,6 @@ let () =
          routing by simulated annealing (Sechen, DAC 1988)"
   in
   exit
-    (Cmd.eval (Cmd.group info
+    (Cmd.eval ~argv (Cmd.group info
        [ gen_cmd; check_cmd; stats_cmd; place_cmd; flow_cmd; route_cmd;
          draw_cmd; report_cmd; experiment_cmd; qa_cmd ]))

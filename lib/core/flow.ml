@@ -173,6 +173,16 @@ let durable_writer ~add ~params ~nl ~checkpoint ~seed_used ~rng ~s1 stage =
   match checkpoint with
   | None -> ()
   | Some cfg -> (
+      Twmc_obs.Flight_recorder.note
+        ~detail:
+          (match stage with
+          | Checkpoint.Stage1_done -> "stage1_done"
+          | Checkpoint.Stage2_iteration _ -> "stage2_iteration")
+        ?i:
+          (match stage with
+          | Checkpoint.Stage1_done -> None
+          | Checkpoint.Stage2_iteration i -> Some i)
+        "flow.checkpoint";
       let d =
         Checkpoint.durable ~stage ~seed_used
           ~rng_cursor:(Rng.to_binary_string rng) ~s1:(s1_summary_of s1)
@@ -201,11 +211,21 @@ let iteration_writer ~checkpoint ~write =
 
 let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
     ?time_budget_s ?(max_retries = 2) ?(retry_backoff_s = 0.05) ?(jobs = 1)
-    ?(replicas = 1) ?checkpoint ?(obs = Obs.disabled) nl =
+    ?(replicas = 1) ?checkpoint ?flight ?(obs = Obs.disabled) nl =
   let diags = ref [] in
-  let add d = diags := d :: !diags in
+  let add d =
+    (* Every diagnostic leaves a breadcrumb in the black box, so a
+       post-mortem dump carries the codes that led to the terminus. *)
+    Twmc_obs.Flight_recorder.note ~detail:d.Diagnostic.code "flow.diag";
+    diags := d :: !diags
+  in
   let addl l = List.iter add l in
   let retries = ref 0 in
+  let dump_flight () =
+    match flight with
+    | None -> ()
+    | Some path -> Twmc_obs.Flight_recorder.dump path
+  in
   let finish flow status =
     (* Invariant relied on by the chaos harness: a non-Clean terminal status
        is always explained by at least one diagnostic. *)
@@ -226,12 +246,20 @@ let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
           [ ("status", Attr.Str (status_to_string status));
             ("retries", Attr.Int !retries) ]
         ();
+    Twmc_obs.Flight_recorder.note ~detail:(status_to_string status)
+      ~i:!retries "flow.status";
+    (* The black box is dumped on every non-Clean terminus; crashes and
+       injected aborts are covered by the exception wrapper below. *)
+    if status <> Clean then dump_flight ();
     { flow; status; diagnostics = List.rev !diags; retries_used = !retries }
   in
+  Twmc_obs.Flight_recorder.note ~detail:nl.Twmc_netlist.Netlist.name
+    ~i:(Twmc_netlist.Netlist.n_cells nl) "flow.start";
   let lint = Lint.netlist nl in
   addl lint;
   if Diagnostic.fatal ~strict lint <> [] then finish None Invalid_input
   else
+    match
     Obs.span obs ~name:"flow"
       ~attrs:
         (if Obs.tracing obs then
@@ -344,12 +372,29 @@ let run_resilient ?(params = Params.default) ?seed ?core ?(strict = false)
         let r = assemble ~t0 nl s1 s2 in
         record_series obs r;
         finish (Some r) (flow_status ~strict ~guard ~diags:!diags s1 s2))
+    with
+    | r -> r
+    | exception e ->
+        (* A crash (resource exhaustion, or the fault injector's simulated
+           process death) escapes [run_resilient]'s guards by design; the
+           flight recorder is dumped on the way out so the last entries
+           name the site that was executing. *)
+        dump_flight ();
+        raise e
 
 let resume ?(params = Params.default) ?(strict = false) ?time_budget_s
-    ?(jobs = 1) ?checkpoint ?(obs = Obs.disabled) ~path nl =
+    ?(jobs = 1) ?checkpoint ?flight ?(obs = Obs.disabled) ~path nl =
   let diags = ref [] in
-  let add d = diags := d :: !diags in
+  let add d =
+    Twmc_obs.Flight_recorder.note ~detail:d.Diagnostic.code "flow.diag";
+    diags := d :: !diags
+  in
   let addl l = List.iter add l in
+  let dump_flight () =
+    match flight with
+    | None -> ()
+    | Some p -> Twmc_obs.Flight_recorder.dump p
+  in
   let finish flow status =
     if
       status = Timed_out
@@ -365,6 +410,9 @@ let resume ?(params = Params.default) ?(strict = false) ?time_budget_s
           [ ("status", Attr.Str (status_to_string status));
             ("resumed", Attr.Bool true) ]
         ();
+    Twmc_obs.Flight_recorder.note ~detail:(status_to_string status)
+      "flow.status";
+    if status <> Clean then dump_flight ();
     { flow; status; diagnostics = List.rev !diags; retries_used = 0 }
   in
   let invalid fmt =
@@ -376,6 +424,8 @@ let resume ?(params = Params.default) ?(strict = false) ?time_budget_s
         finish None Invalid_input)
       fmt
   in
+  Twmc_obs.Flight_recorder.note ~detail:nl.Twmc_netlist.Netlist.name
+    "flow.resume";
   let lint = Lint.netlist nl in
   addl lint;
   if Diagnostic.fatal ~strict lint <> [] then finish None Invalid_input
@@ -386,6 +436,7 @@ let resume ?(params = Params.default) ?(strict = false) ?time_budget_s
         match Rng.of_binary_string d.Checkpoint.rng_cursor with
         | None -> invalid "cannot resume from %s: RNG cursor does not deserialize" path
         | Some rng ->
+            match
             Obs.span obs ~name:"flow"
               ~attrs:
                 (if Obs.tracing obs then
@@ -468,7 +519,12 @@ let resume ?(params = Params.default) ?(strict = false) ?time_budget_s
                 addl s2.Stage2.diagnostics;
                 let r = assemble ~t0 nl s1 s2 in
                 record_series obs r;
-                finish (Some r) (flow_status ~strict ~guard ~diags:!diags s1 s2)))
+                finish (Some r) (flow_status ~strict ~guard ~diags:!diags s1 s2))
+            with
+            | r -> r
+            | exception e ->
+                dump_flight ();
+                raise e)
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -97,6 +97,7 @@ val run_resilient :
   ?jobs:int ->
   ?replicas:int ->
   ?checkpoint:checkpoint_cfg ->
+  ?flight:string ->
   ?obs:Twmc_obs.Ctx.t ->
   Twmc_netlist.Netlist.t ->
   resilient_result
@@ -135,7 +136,14 @@ val run_resilient :
     byte-for-byte}.
 
     [obs] behaves as in {!run}, with additionally a [flow.retries] counter,
-    a per-attempt ["stage1"] span and a final ["flow.status"] point. *)
+    a per-attempt ["stage1"] span and a final ["flow.status"] point.
+
+    [flight] names a JSONL file for the {!Twmc_obs.Flight_recorder} black
+    box: the ring of recent events is dumped there on any non-Clean
+    terminal status, and on the way out of any escaping exception —
+    including the fault injector's simulated process death
+    ({!Twmc_robust.Fault.Abort}) — so the dump's last entries name the
+    site that was executing.  Nothing is written on a Clean exit. *)
 
 val resume :
   ?params:Twmc_place.Params.t ->
@@ -143,11 +151,13 @@ val resume :
   ?time_budget_s:float ->
   ?jobs:int ->
   ?checkpoint:checkpoint_cfg ->
+  ?flight:string ->
   ?obs:Twmc_obs.Ctx.t ->
   path:string ->
   Twmc_netlist.Netlist.t ->
   resilient_result
-(** Re-enter a flow from a durable checkpoint file.
+(** Re-enter a flow from a durable checkpoint file.  [flight] behaves as
+    in {!run_resilient}.
 
     The checkpoint is validated first — format version, payload
     length/MD5, netlist fingerprint against [nl], parameter fingerprint

@@ -155,6 +155,7 @@ let anneal ?(should_stop = fun () -> false) ?(obs = Obs.disabled) ?iteration
         window = Range_limiter.window limiter ~temp }
     in
     trace := rec_ :: !trace;
+    Twmc_obs.Flight_recorder.note ?i:iteration ~f:temp "stage2.temp";
     if Obs.tracing obs then
       Obs.point obs ~name:"stage2.temp"
         ~attrs:
@@ -194,8 +195,32 @@ let anneal ?(should_stop = fun () -> false) ?(obs = Obs.disabled) ?iteration
     Metrics.add
       (Metrics.counter m "stage2.moves.displacements")
       stats.Moves.displacements;
-    Metrics.add (Metrics.counter m "stage2.moves.pin_moves") stats.Moves.pin_moves
+    Metrics.add (Metrics.counter m "stage2.moves.pin_moves") stats.Moves.pin_moves;
+    for c = 0 to Moves.n_classes - 1 do
+      let cls = Moves.class_name c in
+      Metrics.add
+        (Metrics.counter m (Printf.sprintf "stage2.class.%s.attempts" cls))
+        stats.Moves.class_attempts.(c);
+      Metrics.add
+        (Metrics.counter m (Printf.sprintf "stage2.class.%s.accepts" cls))
+        stats.Moves.class_accepts.(c)
+    done
   end;
+  if Obs.tracing obs then
+    (* Per-class efficacy of this refinement anneal, mirroring stage 1's
+       [stage1.classes] points (iteration instead of replica). *)
+    for c = 0 to Moves.n_classes - 1 do
+      Obs.point obs ~name:"stage2.classes"
+        ~attrs:
+          ((match iteration with
+           | Some i -> [ ("iteration", Attr.Int i) ]
+           | None -> [])
+          @ [ ("cls", Attr.Str (Moves.class_name c));
+              ("attempts", Attr.Int stats.Moves.class_attempts.(c));
+              ("accepts", Attr.Int stats.Moves.class_accepts.(c));
+              ("dcost", Attr.Float stats.Moves.class_dcost.(c)) ])
+        ()
+    done;
   (!stopped, List.rev !trace)
 
 (* Resize the core so the statically-expanded cells fit at the configured
@@ -231,6 +256,13 @@ let refine_once ~rng ?(final = false) ?should_stop ?pool ?(obs = Obs.disabled)
          @ [ ("final", Attr.Bool final) ]
        else [])
     (fun () ->
+      (* Flight note before the fault site: an injected [Fault.Abort] here
+         leaves "stage2.refine" (with its iteration) as the ring's last
+         entry — the black box names what was executing when the process
+         died. *)
+      Twmc_obs.Flight_recorder.note ?i:iteration
+        ~detail:(if final then "final" else "refine")
+        "stage2.refine";
       (* Fault site: fires per refinement execution, before any mutation, so
          an injected exception leaves the snapshot taken by the resilient
          driver as the authoritative state. *)

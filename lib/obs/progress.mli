@@ -1,0 +1,18 @@
+(** Streaming progress: folds trace events into one-line status messages
+    as they arrive — the rendering behind [twmc report tail] and the seed
+    of the placement-daemon progress API (ROADMAP item 1).
+
+    Pure state machine: no I/O and no clocks, so the same fold runs over a
+    live file, a memory sink, or a socket. *)
+
+type state
+
+val create : unit -> state
+
+val feed : state -> Report.event -> string option
+(** [feed st e] returns the status line [e] warrants, or [None] for events
+    not worth a line (noisy stage-2 temperatures are sampled 1-in-8). *)
+
+val finished : state -> bool
+(** True once a ["flow.status"] point or the closing ["flow"] span end has
+    been fed — the signal for a follower to stop waiting for more data. *)

@@ -151,7 +151,10 @@ let parse_json_at s pos0 =
 let parse_json s =
   match parse_json_at s 0 with
   | v, stop ->
-      if stop <> String.length s then failwith "trailing characters after JSON value";
+      if stop <> String.length s then
+        failwith
+          (Printf.sprintf "at offset %d: trailing characters after JSON value"
+             stop);
       v
   | exception Bad (pos, msg) ->
       failwith (Printf.sprintf "at offset %d: %s" pos msg)
@@ -208,6 +211,7 @@ type event = {
   name : string;
   t_ns : int;
   attrs : (string * json) list;
+  line : int;  (* 1-based source line in the loaded file; 0 if synthetic. *)
 }
 
 let field obj k = match obj with Obj fs -> List.assoc_opt k fs | _ -> None
@@ -217,14 +221,15 @@ let int_field obj k =
 
 let str_field obj k = match field obj k with Some (Str s) -> s | _ -> ""
 
-let event_of_json j =
+let event_of_json ?(line = 0) j =
   { v = int_field j "v";
     ev = str_field j "ev";
     id = int_field j "id";
     parent = int_field j "parent";
     name = str_field j "name";
     t_ns = int_field j "t_ns";
-    attrs = (match field j "attrs" with Some (Obj fs) -> fs | _ -> []) }
+    attrs = (match field j "attrs" with Some (Obj fs) -> fs | _ -> []);
+    line }
 
 let load path =
   let ic = open_in path in
@@ -240,7 +245,12 @@ let load path =
            let line = String.trim line in
            if line <> "" then
              match parse_json line with
-             | j -> events := event_of_json j :: !events
+             | Obj _ as j ->
+                 events := event_of_json ~line:!lineno j :: !events
+             | _ ->
+                 failwith
+                   (Printf.sprintf "%s:%d: line is not a JSON object" path
+                      !lineno)
              | exception Failure m ->
                  failwith (Printf.sprintf "%s:%d: %s" path !lineno m)
          done
@@ -252,6 +262,12 @@ let load path =
 let validate events =
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (* Point at the source line when the event was loaded from a file, at the
+     event index otherwise (synthetic event lists have no lines). *)
+  let where i e =
+    if e.line > 0 then Printf.sprintf "line %d" e.line
+    else Printf.sprintf "event %d" i
+  in
   (match events with
   | { ev = "meta"; v; _ } :: _ ->
       if v > Sink.schema_version then
@@ -263,33 +279,127 @@ let validate events =
   List.iteri
     (fun i e ->
       if e.t_ns < !last_t then
-        problem "event %d (%s %s): timestamp %d decreases (prev %d)" i e.ev
-          e.name e.t_ns !last_t;
+        problem "%s (%s %s): timestamp %d decreases (prev %d)" (where i e)
+          e.ev e.name e.t_ns !last_t;
       last_t := max !last_t e.t_ns;
       match e.ev with
       | "span_begin" ->
-          if e.id <= 0 then problem "event %d: span_begin without id" i;
+          if e.id <= 0 then problem "%s: span_begin without id" (where i e);
           if Hashtbl.mem open_spans e.id then
-            problem "event %d: duplicate span id %d" i e.id;
+            problem "%s: duplicate span id %d" (where i e) e.id;
           if e.parent <> 0 && not (Hashtbl.mem open_spans e.parent) then
-            problem "event %d (%s): parent %d is not an open span" i e.name
-              e.parent;
+            problem "%s (%s): parent %d is not an open span" (where i e)
+              e.name e.parent;
           Hashtbl.replace open_spans e.id e.name
       | "span_end" -> (
           match Hashtbl.find_opt open_spans e.id with
           | Some name ->
               if name <> e.name then
-                problem "event %d: span %d ends as %S but began as %S" i e.id
-                  e.name name;
+                problem "%s: span %d ends as %S but began as %S" (where i e)
+                  e.id e.name name;
               Hashtbl.remove open_spans e.id
-          | None -> problem "event %d: span_end %d without a begin" i e.id)
+          | None -> problem "%s: span_end %d without a begin" (where i e) e.id)
       | "point" | "meta" -> ()
-      | other -> problem "event %d: unknown event kind %S" i other)
+      | other -> problem "%s: unknown event kind %S" (where i e) other)
     events;
   Hashtbl.iter
     (fun id name -> problem "span %d (%s) never ends" id name)
     open_spans;
   List.rev !problems
+
+(* ----------------------------------------------------- bench comparison *)
+
+(* The bench harness writes {"kernels": [{"name": ..., "ns_per_op": ...}]}
+   (see bench/main.ml).  [compare_benches] intersects two such files by
+   kernel name; kernels present on only one side are reported but never
+   gate — machines differ in which wall-clock kernels they run. *)
+
+let load_bench path =
+  let text =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let j =
+    match parse_json text with
+    | j -> j
+    | exception Failure m -> failwith (Printf.sprintf "%s: %s" path m)
+  in
+  match field j "kernels" with
+  | Some (List ks) ->
+      List.map
+        (fun k ->
+          match (field k "name", field k "ns_per_op") with
+          | Some (Str name), Some (Num ns) -> (name, ns)
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "%s: kernel entry without name/ns_per_op fields" path))
+        ks
+  | _ -> failwith (Printf.sprintf "%s: no \"kernels\" array" path)
+
+type bench_row = {
+  kernel : string;
+  old_ns : float;
+  new_ns : float;
+  delta_pct : float;
+}
+
+type bench_comparison = {
+  rows : bench_row list;  (* Kernels present on both sides, in old order. *)
+  regressions : bench_row list;  (* Rows slower by more than the budget. *)
+  only_old : string list;
+  only_new : string list;
+}
+
+let compare_benches ~max_regress_pct old_b new_b =
+  let rows =
+    List.filter_map
+      (fun (kernel, old_ns) ->
+        match List.assoc_opt kernel new_b with
+        | Some new_ns when old_ns > 0.0 ->
+            Some
+              { kernel;
+                old_ns;
+                new_ns;
+                delta_pct = 100.0 *. (new_ns -. old_ns) /. old_ns }
+        | _ -> None)
+      old_b
+  in
+  { rows;
+    regressions = List.filter (fun r -> r.delta_pct > max_regress_pct) rows;
+    only_old =
+      List.filter_map
+        (fun (k, _) ->
+          if List.mem_assoc k new_b then None else Some k)
+        old_b;
+    only_new =
+      List.filter_map
+        (fun (k, _) ->
+          if List.mem_assoc k old_b then None else Some k)
+        new_b }
+
+let pp_bench_comparison ppf c =
+  Format.fprintf ppf "@[<v>%-52s %12s %12s %9s@," "kernel" "old ns/op"
+    "new ns/op" "delta";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-52s %12.1f %12.1f %+8.1f%%%s@," r.kernel r.old_ns
+        r.new_ns r.delta_pct
+        (if List.memq r c.regressions then "  REGRESSION" else ""))
+    c.rows;
+  List.iter
+    (fun k -> Format.fprintf ppf "%-52s (only in old file)@," k)
+    c.only_old;
+  List.iter
+    (fun k -> Format.fprintf ppf "%-52s (only in new file)@," k)
+    c.only_new;
+  (match c.regressions with
+  | [] -> Format.fprintf ppf "no regressions over budget@,"
+  | rs -> Format.fprintf ppf "%d kernel(s) over the regression budget@,"
+            (List.length rs));
+  Format.fprintf ppf "@]"
 
 (* -------------------------------------------------------------- summary *)
 

@@ -17,6 +17,9 @@ type event = {
   name : string;
   t_ns : int;
   attrs : (string * json) list;
+  line : int;
+      (** 1-based line in the file the event was loaded from; 0 for
+          synthetic events.  {!validate} reports it when present. *)
 }
 
 val parse_json : string -> json
@@ -28,9 +31,16 @@ val json_to_string : json -> string
     (whole numbers print without a fraction, other floats at full
     precision). *)
 
+val event_of_json : ?line:int -> json -> event
+(** One trace line as an {!event} ([line], default 0, is stamped into the
+    result for error reporting).  Raises [Failure] when [j] is not an
+    object.  The incremental reader behind [twmc report tail] uses this on
+    lines as they appear, where {!load} would demand the whole file. *)
+
 val load : string -> event list
-(** Parses a JSONL trace file; raises [Failure "path:line: ..."] on the
-    first malformed line. *)
+(** Parses a JSONL trace file; raises [Failure "path:line: reason"] on the
+    first malformed or non-object line, naming the offending line and why
+    it was rejected. *)
 
 val validate : event list -> string list
 (** Schema validation: a leading meta line with a supported version,
@@ -42,3 +52,40 @@ val validate : event list -> string list
 val pp_summary : Format.formatter -> event list -> unit
 (** Per-stage wall time, top-5 slowest spans, the stage-1 acceptance curve
     (winning replica when identifiable) and the router overflow trend. *)
+
+(** {2 Bench-kernel comparison}
+
+    Reads the [{"kernels": [{"name", "ns_per_op"}]}] JSON the bench harness
+    writes ([bench/main.exe -- micro --json]) and compares two snapshots,
+    the backing for [twmc report compare] and the CI perf-regression
+    gate. *)
+
+val load_bench : string -> (string * float) list
+(** Kernel name → ns/op, in file order; raises [Failure] with the path and
+    reason on malformed input. *)
+
+type bench_row = {
+  kernel : string;
+  old_ns : float;
+  new_ns : float;
+  delta_pct : float;  (** [100 · (new − old) / old]; positive = slower. *)
+}
+
+type bench_comparison = {
+  rows : bench_row list;  (** Kernels present on both sides, in old order. *)
+  regressions : bench_row list;
+      (** Rows with [delta_pct > max_regress_pct]. *)
+  only_old : string list;
+  only_new : string list;
+}
+
+val compare_benches :
+  max_regress_pct:float ->
+  (string * float) list ->
+  (string * float) list ->
+  bench_comparison
+(** [compare_benches ~max_regress_pct old new] intersects by kernel name;
+    kernels present on only one side are listed but never counted as
+    regressions. *)
+
+val pp_bench_comparison : Format.formatter -> bench_comparison -> unit

@@ -1,4 +1,7 @@
-let schema_version = 1
+(* v2 (PR 8): same event shapes as v1, plus the ["twmc-flight"] meta name
+   emitted by {!Flight_recorder.to_jsonl}.  v1 traces remain readable — the
+   reader rejects only versions newer than this one. *)
+let schema_version = 2
 
 type event =
   | Span_begin of {
@@ -13,25 +16,44 @@ type event =
 
 type chan = { oc : out_channel; owned : bool; mutable closed : bool }
 
+type mem = {
+  q : event Queue.t;
+  cap : int;  (* [max_int] = unbounded (the default). *)
+  mutable dropped : int;
+}
+
 type target =
   | Null
-  | Memory of event list ref
+  | Memory of mem
   | Channel of chan
 
 type t = { target : target; mutex : Mutex.t }
 
 let null = { target = Null; mutex = Mutex.create () }
 let enabled t = t.target <> Null
-let memory () = { target = Memory (ref []); mutex = Mutex.create () }
+
+let memory ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Sink.memory: capacity < 1";
+  { target = Memory { q = Queue.create (); cap = capacity; dropped = 0 };
+    mutex = Mutex.create () }
 
 let memory_events t =
   match t.target with
-  | Memory r ->
+  | Memory m ->
       Mutex.lock t.mutex;
-      let es = List.rev !r in
+      let es = List.of_seq (Queue.to_seq m.q) in
       Mutex.unlock t.mutex;
       es
   | _ -> []
+
+let dropped t =
+  match t.target with
+  | Memory m ->
+      Mutex.lock t.mutex;
+      let d = m.dropped in
+      Mutex.unlock t.mutex;
+      d
+  | _ -> 0
 
 let jsonl_of_event ev =
   let b = Buffer.create 128 in
@@ -85,9 +107,13 @@ let to_file path =
 let emit t ev =
   match t.target with
   | Null -> ()
-  | Memory r ->
+  | Memory m ->
       Mutex.lock t.mutex;
-      r := ev :: !r;
+      if Queue.length m.q >= m.cap then begin
+        ignore (Queue.pop m.q);
+        m.dropped <- m.dropped + 1
+      end;
+      Queue.add ev m.q;
       Mutex.unlock t.mutex
   | Channel c ->
       Mutex.lock t.mutex;

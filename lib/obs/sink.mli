@@ -8,8 +8,11 @@
     domains can emit concurrently. *)
 
 val schema_version : int
-(** Version stamped into every emitted line ([{"v":1,...}]); bumped on any
-    incompatible change to the event shapes below. *)
+(** Version stamped into every emitted line ([{"v":2,...}]); bumped on any
+    incompatible change to the event shapes below.  v2 keeps v1's event
+    shapes and adds the ["twmc-flight"] meta name used by flight-recorder
+    dumps; readers accept any version up to this one, so v1 traces stay
+    loadable. *)
 
 type event =
   | Span_begin of {
@@ -29,11 +32,18 @@ val null : t
 
 val enabled : t -> bool
 
-val memory : unit -> t
-(** Collects events in memory; retrieve with {!memory_events}. *)
+val memory : ?capacity:int -> unit -> t
+(** Collects events in memory; retrieve with {!memory_events}.  [capacity]
+    (default unbounded) caps retention: once full, each new event evicts
+    the oldest and bumps {!dropped} — long fuzz/chaos campaigns can hold a
+    sink open without growing it without limit.  Raises [Invalid_argument]
+    when [capacity < 1]. *)
 
 val memory_events : t -> event list
-(** Events emitted so far, oldest first.  [[]] for non-memory sinks. *)
+(** Events retained so far, oldest first.  [[]] for non-memory sinks. *)
+
+val dropped : t -> int
+(** Events evicted by a bounded memory sink; [0] for other sinks. *)
 
 val of_channel : out_channel -> t
 (** JSONL onto an existing channel (one meta line is written first).  The

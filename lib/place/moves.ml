@@ -3,6 +3,29 @@ open Twmc_netlist
 module Rng = Twmc_sa.Rng
 module Anneal = Twmc_sa.Anneal
 
+(* Move-class indices for the per-class efficacy counters: every Metropolis
+   trial is tagged with the proposal class that produced it, giving
+   attempt/accept/Δcost totals per class (the paper's generate-function
+   traffic broken down by move type). *)
+let cls_displace = 0
+let cls_displace_inverted = 1
+let cls_orient = 2
+let cls_interchange = 3
+let cls_interchange_inverted = 4
+let cls_pin = 5
+let cls_variant = 6
+let n_classes = 7
+
+let class_name = function
+  | 0 -> "displace"
+  | 1 -> "displace_inverted"
+  | 2 -> "orient"
+  | 3 -> "interchange"
+  | 4 -> "interchange_inverted"
+  | 5 -> "pin"
+  | 6 -> "variant"
+  | _ -> invalid_arg "Moves.class_name"
+
 type stats = {
   mutable attempts : int;
   mutable displacements : int;
@@ -12,6 +35,11 @@ type stats = {
   mutable interchange_rescues : int;
   mutable pin_moves : int;
   mutable variant_changes : int;
+  class_attempts : int array;
+  class_accepts : int array;
+  (* A float array, not mutable float fields: unboxed stores keep the
+     accumulation allocation-free on the per-move path. *)
+  class_dcost : float array;
 }
 
 let make_stats () =
@@ -22,7 +50,10 @@ let make_stats () =
     interchanges = 0;
     interchange_rescues = 0;
     pin_moves = 0;
-    variant_changes = 0 }
+    variant_changes = 0;
+    class_attempts = Array.make n_classes 0;
+    class_accepts = Array.make n_classes 0;
+    class_dcost = Array.make n_classes 0.0 }
 
 type ctx = {
   p : Placement.t;
@@ -48,11 +79,17 @@ let make_ctx ?(allow_orient = true) ?(allow_variant = true)
    temperature — never mutate the placement, its net caches or the spatial
    index.  [Placement.delta_cost] computes the same float the old
    mutate-then-difference trial produced, so acceptance decisions and RNG
-   consumption are unchanged.  Returns acceptance. *)
-let trial ctx rng ~temp ~moves =
+   consumption are unchanged.  [cls] tags the trial for the per-class
+   efficacy counters (array stores only — nothing here allocates).
+   Returns acceptance. *)
+let trial ctx rng ~cls ~temp ~moves =
+  let s = ctx.stats in
+  s.class_attempts.(cls) <- s.class_attempts.(cls) + 1;
   let delta = Placement.delta_cost ctx.p moves in
   if Anneal.metropolis rng ~t:temp ~delta then begin
     List.iter (Placement.apply_move ctx.p) moves;
+    s.class_accepts.(cls) <- s.class_accepts.(cls) + 1;
+    s.class_dcost.(cls) <- s.class_dcost.(cls) +. delta;
     true
   end
   else false
@@ -72,20 +109,21 @@ let target_of_step ctx ci (dx, dy) =
 
 (* A_1(i, x, y): displacement at current orientation. *)
 let attempt_displacement ctx rng ~temp ~cell ~x ~y =
-  trial ctx rng ~temp ~moves:[ cell_move ~x ~y cell ]
+  trial ctx rng ~cls:cls_displace ~temp ~moves:[ cell_move ~x ~y cell ]
 
 (* A'(i, x, y): displacement with the aspect ratio inverted (Fig 2). *)
 let attempt_displacement_inverted ctx rng ~temp ~cell ~x ~y =
   let o = Placement.cell_orient ctx.p cell in
   let o' = Orient.aspect_inversion_of o in
-  trial ctx rng ~temp ~moves:[ cell_move ~x ~y ~orient:o' cell ]
+  trial ctx rng ~cls:cls_displace_inverted ~temp
+    ~moves:[ cell_move ~x ~y ~orient:o' cell ]
 
 (* A_0(i): random in-place orientation change. *)
 let attempt_orient ctx rng ~temp ~cell =
   let o = Placement.cell_orient ctx.p cell in
   let candidates = List.filter (fun o' -> not (Orient.equal o o')) Orient.all in
   let o' = Rng.pick_list rng candidates in
-  trial ctx rng ~temp ~moves:[ cell_move ~orient:o' cell ]
+  trial ctx rng ~cls:cls_orient ~temp ~moves:[ cell_move ~orient:o' cell ]
 
 (* A_2(i, j): pairwise interchange of cell centers. *)
 let attempt_interchange ctx rng ~temp ~i ~j ~invert =
@@ -98,7 +136,9 @@ let attempt_interchange ctx rng ~temp ~i ~j ~invert =
       [ cell_move ~x:xj ~y:yj ~orient:oi i; cell_move ~x:xi ~y:yi ~orient:oj j ]
     else [ cell_move ~x:xj ~y:yj i; cell_move ~x:xi ~y:yi j ]
   in
-  trial ctx rng ~temp ~moves
+  trial ctx rng
+    ~cls:(if invert then cls_interchange_inverted else cls_interchange)
+    ~temp ~moves
 
 (* A_p(i): reassign one pin group or lone pin to fresh sites. *)
 let attempt_pin_move ctx rng ~temp ~cell =
@@ -137,7 +177,8 @@ let attempt_pin_move ctx rng ~temp ~cell =
        | [] -> ()
        | allowed -> sites.(pin) <- Rng.pick_list rng allowed);
     let accepted =
-      trial ctx rng ~temp ~moves:[ Placement.Sites_move { ci = cell; sites } ]
+      trial ctx rng ~cls:cls_pin ~temp
+        ~moves:[ Placement.Sites_move { ci = cell; sites } ]
     in
     if accepted then ctx.stats.pin_moves <- ctx.stats.pin_moves + 1;
     accepted
@@ -157,7 +198,9 @@ let attempt_variant ctx rng ~temp ~cell =
       else if Rng.bool_with_prob rng 0.5 then v - 1
       else v + 1
     in
-    let accepted = trial ctx rng ~temp ~moves:[ cell_move ~variant:v' cell ] in
+    let accepted =
+      trial ctx rng ~cls:cls_variant ~temp ~moves:[ cell_move ~variant:v' cell ]
+    in
     if accepted then ctx.stats.variant_changes <- ctx.stats.variant_changes + 1;
     accepted
   end

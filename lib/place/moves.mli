@@ -16,6 +16,14 @@
 
     All acceptance decisions are Metropolis at the given temperature. *)
 
+val n_classes : int
+(** Number of move classes for the per-class efficacy counters below. *)
+
+val class_name : int -> string
+(** ["displace"], ["displace_inverted"], ["orient"], ["interchange"],
+    ["interchange_inverted"], ["pin"], ["variant"] — in index order;
+    raises [Invalid_argument] outside [0 .. n_classes-1]. *)
+
 type stats = {
   mutable attempts : int;  (** Top-level generate calls. *)
   mutable displacements : int;  (** Accepted plain displacements. *)
@@ -25,6 +33,12 @@ type stats = {
   mutable interchange_rescues : int;
   mutable pin_moves : int;  (** Accepted pin (group) re-assignments. *)
   mutable variant_changes : int;  (** Accepted aspect-ratio/instance changes. *)
+  class_attempts : int array;
+      (** Metropolis trials per move class, indexed as {!class_name};
+          counts every trial in the rescue ladder, unlike the aggregate
+          fields above which count accepted top-level outcomes. *)
+  class_accepts : int array;
+  class_dcost : float array;  (** Summed Δcost of accepted trials, per class. *)
 }
 
 val make_stats : unit -> stats

@@ -87,11 +87,42 @@ let record_move_stats obs (s : Moves.stats) =
     add "stage1.moves.interchanges" s.Moves.interchanges;
     add "stage1.moves.interchange_rescues" s.Moves.interchange_rescues;
     add "stage1.moves.pin_moves" s.Moves.pin_moves;
-    add "stage1.moves.variant_changes" s.Moves.variant_changes
+    add "stage1.moves.variant_changes" s.Moves.variant_changes;
+    for c = 0 to Moves.n_classes - 1 do
+      let cls = Moves.class_name c in
+      add
+        (Printf.sprintf "stage1.class.%s.attempts" cls)
+        s.Moves.class_attempts.(c);
+      add
+        (Printf.sprintf "stage1.class.%s.accepts" cls)
+        s.Moves.class_accepts.(c)
+    done
   end
+
+(* One per-class efficacy point per finished anneal: attempts, accepts and
+   summed Δcost for every move class of the trial ladder — the trace-side
+   source for [Health]'s move-class table. *)
+let record_class_points obs ?replica ~prefix (s : Moves.stats) =
+  if Obs.tracing obs then
+    for c = 0 to Moves.n_classes - 1 do
+      Obs.point obs
+        ~name:(prefix ^ ".classes")
+        ~attrs:
+          ((match replica with
+           | Some r -> [ ("replica", Attr.Int r) ]
+           | None -> [])
+          @ [ ("cls", Attr.Str (Moves.class_name c));
+              ("attempts", Attr.Int s.Moves.class_attempts.(c));
+              ("accepts", Attr.Int s.Moves.class_accepts.(c));
+              ("dcost", Attr.Float s.Moves.class_dcost.(c)) ])
+        ()
+    done
 
 let run ?(params = Params.default) ?core ?on_temp ?should_stop
     ?(obs = Obs.disabled) ?replica ~rng nl =
+  (* Flight-recorder note first, then the fault site: an injected abort
+     leaves the site it killed as the ring's last entry. *)
+  Twmc_obs.Flight_recorder.note ?i:replica "stage1.replica";
   (* Fault site: fires per replica (inside the worker domain under
      best-of-K), exercising the guarded driver's retry path. *)
   Twmc_util.Fault.point "stage1.replica";
@@ -165,6 +196,7 @@ let run ?(params = Params.default) ?core ?on_temp ?should_stop
     in
     trace := rec_ :: !trace;
     (match on_temp with Some f -> f rec_ | None -> ());
+    Twmc_obs.Flight_recorder.note ?i:replica ~f:temp "stage1.temp";
     if Obs.tracing obs then begin
       let wx, wy = rec_.window in
       Obs.point obs ~name:"stage1.temp"
@@ -176,7 +208,10 @@ let run ?(params = Params.default) ?core ?on_temp ?should_stop
               ("c1", Attr.Float rec_.c1); ("c2", Attr.Float rec_.c2_raw);
               ("c3", Attr.Float rec_.c3);
               ("acceptance", Attr.Float rec_.acceptance);
-              ("wx", Attr.Float wx); ("wy", Attr.Float wy) ])
+              ("wx", Attr.Float wx); ("wy", Attr.Float wy);
+              (* The schedule's Eqn 19-21 driver, sampled per temperature
+                 so [Health] can watch the estimator converge. *)
+              ("est", Attr.Float (avg_effective_cell_area p)) ])
         ()
     end;
     if !stopped then ()
@@ -206,6 +241,7 @@ let run ?(params = Params.default) ?core ?on_temp ?should_stop
     (fun () -> loop t_inf);
   Placement.recompute_all p;
   record_move_stats obs stats;
+  record_class_points obs ?replica ~prefix:"stage1" stats;
   { placement = p;
     t_inf;
     s_t;
@@ -254,6 +290,8 @@ let run_best_of_k ?params ?core ?should_stop ?pool ?(obs = Obs.disabled) ~rng
   for i = 1 to k - 1 do
     if replica_costs.(i) < replica_costs.(!best_index) then best_index := i
   done;
+  Twmc_obs.Flight_recorder.note ~i:!best_index
+    ~f:replica_costs.(!best_index) "stage1.winner";
   if Obs.tracing obs then
     Obs.point obs ~name:"stage1.winner"
       ~attrs:

@@ -133,7 +133,11 @@ let save_survivor ~dir s =
   Buffer.add_string b (Fuzz_case.to_string s.case);
   Twmc_util.Atomic_io.write_string
     (Filename.concat dir (Printf.sprintf "chaos-%d.txt" s.index))
-    (Buffer.contents b)
+    (Buffer.contents b);
+  (* The flight ring still holds this plan's events (it is cleared before
+     each plan runs), so the black box lands next to the repro file. *)
+  Twmc_obs.Flight_recorder.dump
+    (Filename.concat dir (Printf.sprintf "chaos-%d.flight.jsonl" s.index))
 
 let campaign ?out_dir ?(progress = fun _ -> ()) ~seed ~plans () =
   let rng = Rng.create ~seed in
@@ -155,6 +159,9 @@ let campaign ?out_dir ?(progress = fun _ -> ()) ~seed ~plans () =
     in
     let plan = gen_plan ~rng in
     let jobs = if Rng.bool_with_prob rng 0.3 then 2 else 1 in
+    (* A fresh ring per plan: a survivor's flight dump then contains only
+       the events of the run that produced it. *)
+    Twmc_obs.Flight_recorder.clear ();
     (match Fuzz_case.netlist case with
     | Error _ -> incr rejected
     | Ok nl ->

@@ -52,10 +52,13 @@ val campaign :
   plans:int ->
   unit ->
   report
-(** Run [plans] fault plans.  [out_dir] (created if needed) receives one
-    [chaos-<index>.txt] artifact per survivor — the plan, the case and the
-    reason, enough to replay by hand.  [progress i] is called after plan
-    [i] completes.  The injector is always disarmed on exit, even if the
-    campaign itself dies. *)
+(** Run [plans] fault plans.  [out_dir] (created if needed) receives, per
+    survivor, a [chaos-<index>.txt] artifact — the plan, the case and the
+    reason, enough to replay by hand — and a [chaos-<index>.flight.jsonl]
+    dump of the {!Twmc_obs.Flight_recorder} ring as it stood when the
+    violation was detected (the ring is cleared before each plan, so the
+    dump covers only the offending run).  [progress i] is called after
+    plan [i] completes.  The injector is always disarmed on exit, even if
+    the campaign itself dies. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -25,6 +25,10 @@ let route ?(m = 20) ?budget_factor ?should_stop ?pool ?(obs = Obs.disabled)
      (task) order, which keeps phase 2's input — and therefore the whole
      routing — identical for any pool size. *)
   let enumerate _i (task : Pin_map.net_task) =
+    (* Flight note first (mutex-serialized, worker-domain safe), then the
+       fault site: an injected failure dump ends naming the net that was
+       being enumerated. *)
+    Twmc_obs.Flight_recorder.note ~i:task.Pin_map.net "route.net";
     (* Fault site: fires per net, possibly on a worker domain; the injected
        exception surfaces at the parallel join and is contained by the
        refinement rollback (or the final-route guard). *)
@@ -38,6 +42,7 @@ let route ?(m = 20) ?budget_factor ?should_stop ?pool ?(obs = Obs.disabled)
       in
       (task.Pin_map.net, Steiner.routes ?budget_factor graph ~m ~terminals)
   in
+  Twmc_obs.Flight_recorder.note ~i:(List.length tasks) "route.start";
   Obs.span obs ~name:"route"
     ~attrs:
       (if Obs.tracing obs then
@@ -86,6 +91,11 @@ let route ?(m = 20) ?budget_factor ?should_stop ?pool ?(obs = Obs.disabled)
       let alternatives = Array.of_list (List.map snd with_routes) in
       let nets = Array.of_list (List.map fst with_routes) in
       let finish r =
+        Twmc_obs.Flight_recorder.note
+          ~i:(List.length r.unroutable)
+          ~f:(float_of_int r.overflow) "route.assign";
+        if Obs.metrics_on obs then
+          Metrics.add (Metrics.counter obs.Obs.metrics "route.passes") 1;
         if Obs.tracing obs then
           Obs.point obs ~name:"route.assign"
             ~attrs:

@@ -147,25 +147,44 @@ let test_jsonl_round_trip () =
 
 (* ---------------------------------------------- disabled-path overhead *)
 
-(* The disabled context may not allocate: drive many span+point sites and
-   bound the minor-heap growth by a constant (the [Gc.minor_words] calls
-   themselves box a float or two — far below one word per iteration). *)
+(* The disabled context may not allocate: drive many span+point sites —
+   plus the disabled flight recorder and the per-move class counters that
+   share the hot path — and bound the minor-heap growth by a constant (the
+   [Gc.minor_words] calls themselves box a float or two — far below one
+   word per iteration). *)
 let test_disabled_no_alloc () =
   let obs = Obs.disabled in
-  let body () = Obs.point obs ~name:"p" () in
+  let stats = Twmc_place.Moves.make_stats () in
+  let cls = 0 (* = "displace", see {!Moves.class_name} *) in
+  let body () =
+    Obs.point obs ~name:"p" ();
+    (* Exactly the counter pattern [Moves.trial] runs per attempted move:
+       int bumps plus a float-array store (unboxed, so no boxing). *)
+    stats.Twmc_place.Moves.class_attempts.(cls) <-
+      stats.Twmc_place.Moves.class_attempts.(cls) + 1;
+    stats.Twmc_place.Moves.class_accepts.(cls) <-
+      stats.Twmc_place.Moves.class_accepts.(cls) + 1;
+    stats.Twmc_place.Moves.class_dcost.(cls) <-
+      stats.Twmc_place.Moves.class_dcost.(cls) +. 1.5;
+    Twmc_obs.Flight_recorder.note "x"
+  in
   let iters = 10_000 in
-  (* Warm up so any one-time allocation is out of the measured window. *)
-  Obs.span obs ~name:"s" body;
-  let w0 = Gc.minor_words () in
-  for _ = 1 to iters do
-    Obs.span obs ~name:"s" body
-  done;
-  let w1 = Gc.minor_words () in
-  checkb
-    (Printf.sprintf "disabled path allocates (%.0f words / %d iters)"
-       (w1 -. w0) iters)
-    true
-    (w1 -. w0 < 64.0)
+  Twmc_obs.Flight_recorder.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Twmc_obs.Flight_recorder.set_enabled true)
+    (fun () ->
+      (* Warm up so any one-time allocation is out of the measured window. *)
+      Obs.span obs ~name:"s" body;
+      let w0 = Gc.minor_words () in
+      for _ = 1 to iters do
+        Obs.span obs ~name:"s" body
+      done;
+      let w1 = Gc.minor_words () in
+      checkb
+        (Printf.sprintf "disabled path allocates (%.0f words / %d iters)"
+           (w1 -. w0) iters)
+        true
+        (w1 -. w0 < 64.0))
 
 (* ----------------------------------------------- bit-identity contract *)
 
@@ -308,11 +327,11 @@ let test_trace_file_valid () =
 let test_validate_rejects () =
   let meta =
     { Report.v = Sink.schema_version; ev = "meta"; id = 0; parent = 0;
-      name = "twmc-trace"; t_ns = 0; attrs = [] }
+      name = "twmc-trace"; t_ns = 0; attrs = []; line = 0 }
   in
   let ev ?(v = Sink.schema_version) ?(id = 0) ?(parent = 0) ?(t_ns = 1) kind
       name =
-    { Report.v; ev = kind; id; parent; name; t_ns; attrs = [] }
+    { Report.v; ev = kind; id; parent; name; t_ns; attrs = []; line = 0 }
   in
   checkb "unclosed span" true
     (Report.validate [ meta; ev "span_begin" ~id:1 "s" ] <> []);
