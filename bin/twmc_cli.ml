@@ -51,7 +51,17 @@ let gen_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write here (stdout otherwise).")
   in
-  let run circuit cells nets pins seed out =
+  let constraints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "constraints" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated constraint mutators applied after generation, \
+             e.g. blockage:2,fixpair:1,region0:2 (kinds: blockage keepout \
+             fixpair region0 boundary align abut density0).")
+  in
+  let run circuit cells nets pins seed out constraints =
     let nl =
       match circuit with
       | Some name -> Twmc_workload.Circuits.netlist ~seed name
@@ -62,6 +72,25 @@ let gen_cmd =
               n_nets = nets;
               n_pins = pins }
     in
+    let nl =
+      match constraints with
+      | None -> nl
+      | Some spec ->
+          let parts = String.split_on_char ',' spec in
+          let kinds =
+            List.map
+              (fun s ->
+                match Twmc_workload.Mutate.of_string s with
+                | Some m when Twmc_workload.Mutate.is_constraint_kind m -> m
+                | Some _ | None ->
+                    Printf.eprintf "unknown constraint mutator: %s\n" s;
+                    exit exit_invalid)
+              parts
+          in
+          Twmc_workload.Mutate.apply_all
+            ~rng:(Twmc_sa.Rng.create ~seed:(seed lxor 0x5a5a))
+            kinds nl
+    in
     match out with
     | Some path ->
         Twmc_netlist.Writer.to_file path nl;
@@ -70,7 +99,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic netlist (.twn)")
-    Term.(const run $ circuit $ cells $ nets $ pins $ seed $ out)
+    Term.(const run $ circuit $ cells $ nets $ pins $ seed $ out $ constraints)
 
 (* -------------------------------------------------------------- stats *)
 

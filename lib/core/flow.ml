@@ -73,7 +73,29 @@ let record_series obs (r : result) =
       r.stage2.Stage2.trace;
     Metrics.set (Metrics.gauge m "flow.teil_final") r.teil_final;
     Metrics.set (Metrics.gauge m "flow.area_final") (float_of_int r.area_final);
-    Metrics.set (Metrics.gauge m "flow.elapsed_s") r.elapsed_s
+    Metrics.set (Metrics.gauge m "flow.elapsed_s") r.elapsed_s;
+    (* Per-constraint-type violation gauges of the final placement; absent
+       entirely on unconstrained netlists, so the export is unchanged. *)
+    let p = r.stage2.Stage2.placement in
+    if Placement.n_constraints p > 0 then begin
+      Metrics.set (Metrics.gauge m "cons.c4") (Placement.c4 p);
+      let by_kind = Hashtbl.create 8 in
+      Array.iteri
+        (fun k c ->
+          let kind = Twmc_netlist.Constr.kind_name c in
+          let prev =
+            Option.value ~default:0.0 (Hashtbl.find_opt by_kind kind)
+          in
+          Hashtbl.replace by_kind kind
+            (prev +. Placement.constraint_penalty p k))
+        (Placement.constraints p);
+      Hashtbl.iter
+        (fun kind total ->
+          Metrics.set
+            (Metrics.gauge m (Printf.sprintf "cons.%s.penalty" kind))
+            total)
+        by_kind
+    end
   end
 
 (* Stage 1, possibly as a best-of-K multi-start (Sechen's independent-runs

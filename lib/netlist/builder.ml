@@ -34,6 +34,7 @@ type t = {
   net_ids : (string, int) Hashtbl.t;
   mutable net_names : string list;  (* reversed *)
   weights : (string, float * float) Hashtbl.t;
+  mutable constrs : Constr.spec list;  (* reversed *)
 }
 
 let at ?equiv ~name ~net (x, y) =
@@ -45,7 +46,7 @@ let on ?equiv ?group ?seq ~name ~net restriction =
 
 let create ~name ~track_spacing =
   { name; track_spacing; cells = []; net_ids = Hashtbl.create 64;
-    net_names = []; weights = Hashtbl.create 16 }
+    net_names = []; weights = Hashtbl.create 16; constrs = [] }
 
 let net_id t name =
   match Hashtbl.find_opt t.net_ids name with
@@ -76,6 +77,8 @@ let add_custom_instances t ~name ~shapes ?sites_per_edge ~pins () =
   t.cells <- Instances_spec { name; shapes; sites_per_edge; pins } :: t.cells
 
 let set_net_weight t ~net ~h ~v = Hashtbl.replace t.weights net (h, v)
+let add_constraint t spec = t.constrs <- spec :: t.constrs
+let constraints t = List.rev t.constrs
 
 let spec_name = function
   | Macro_spec { name; _ } | Custom_spec { name; _ } | Instances_spec { name; _ }
@@ -150,6 +153,33 @@ let lint_specs t =
       if not (Hashtbl.mem t.net_ids net) then
         add "E106" net "weight set for undeclared net %s" net)
     t.weights;
+  List.iter
+    (fun (c : Constr.spec) ->
+      List.iter
+        (fun cell ->
+          if not (Hashtbl.mem seen cell) then
+            add "E107" cell "constraint references unknown cell %s" cell)
+        (Constr.spec_cells c);
+      let bad_rect x0 y0 x1 y1 =
+        if x0 >= x1 || y0 >= y1 then
+          add "E108" t.name "constraint rectangle [%d %d %d %d] is empty" x0
+            y0 x1 y1
+      in
+      match c with
+      | Constr.Blockage_spec { x0; y0; x1; y1 } -> bad_rect x0 y0 x1 y1
+      | Constr.Region_spec { x0; y0; x1; y1; _ } -> bad_rect x0 y0 x1 y1
+      | Constr.Density_spec { x0; y0; x1; y1; cap_permille } ->
+          bad_rect x0 y0 x1 y1;
+          if cap_permille <= 0 || cap_permille > 1000 then
+            add "E108" t.name "density cap %d outside (0, 1000]" cap_permille
+      | Constr.Keepout_spec { cell; margin } ->
+          if margin <= 0 then
+            add "E108" cell "keepout margin %d is nonpositive" margin
+      | Constr.Align_spec { a; b; _ } | Constr.Abut_spec { a; b } ->
+          if a = b then
+            add "E108" a "pairwise constraint relates cell %s to itself" a
+      | Constr.Fixed_spec _ | Constr.Boundary_spec _ -> ())
+    (List.rev t.constrs);
   List.rev !diags
 
 let to_pin t (spec : pin_spec) =
@@ -203,4 +233,20 @@ let build t =
         in
         Net.make ~name:names.(i) ~hweight ~vweight (List.rev refs.(i)))
   in
-  Netlist.make ~name:t.name ~track_spacing:t.track_spacing ~cells ~nets
+  let cell_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i spec -> Hashtbl.replace cell_ids (spec_name spec) i)
+    cell_specs;
+  let cell_index name =
+    match Hashtbl.find_opt cell_ids name with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Builder.build %s: constraint references unknown cell %s"
+             t.name name)
+  in
+  let constraints =
+    List.map (Constr.resolve ~cell_index) (List.rev t.constrs)
+  in
+  Netlist.make ~name:t.name ~track_spacing:t.track_spacing ~constraints ~cells
+    ~nets ()

@@ -60,9 +60,17 @@ val add_custom_instances :
 val set_net_weight : t -> net:string -> h:float -> v:float -> unit
 (** May be called before or after the net's pins are declared. *)
 
+val add_constraint : t -> Constr.spec -> unit
+(** Appends a placement-constraint spec; cell names resolve at [build]
+    time, so constraints may precede or follow their cells. *)
+
+val constraints : t -> Constr.spec list
+(** Accumulated constraint specs in declaration order. *)
+
 val build : t -> Netlist.t
 (** Resolves names and validates; raises [Invalid_argument] on dangling
-    weights (a weight for a net no pin mentions) or any [Netlist.make]
+    weights (a weight for a net no pin mentions), constraints naming
+    unknown cells or carrying invalid values, or any [Netlist.make]
     violation. *)
 
 val lint_specs : t -> (string * string * string) list
@@ -71,6 +79,9 @@ val lint_specs : t -> (string * string * string) list
     accumulated specs — duplicate cell names (E101), nets with fewer than
     two pins (E102), nonpositive custom areas (E103), invalid aspect ranges
     (E104), [seq] without [group] (E105), weights on undeclared nets (E106),
-    nonpositive track spacing (E100), pinless cells (W201), duplicate pin
-    names (W202).  Codes starting with [E] are errors that would make
-    {!build} raise; [W] codes are advisory.  Never raises. *)
+    nonpositive track spacing (E100), constraints naming unknown cells
+    (E107), constraints with invalid values — empty rectangles, nonpositive
+    keepout margins, out-of-range density caps, self-referential pairs —
+    (E108), pinless cells (W201), duplicate pin names (W202).  Codes
+    starting with [E] are errors that would make {!build} raise; [W] codes
+    are advisory.  Never raises. *)

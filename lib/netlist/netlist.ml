@@ -6,6 +6,7 @@ type t = {
   cells : Cell.t array;
   nets : Net.t array;
   nets_of_cell : int list array;
+  constraints : Constr.t array;
 }
 
 let validate ~name cells nets =
@@ -38,10 +39,24 @@ let validate ~name cells nets =
         c.Cell.pins)
     cells
 
-let make ~name ~track_spacing ~cells ~nets =
+let validate_constraints ~name ~n_cells constraints =
+  let fail fmt = Format.kasprintf invalid_arg ("Netlist %s: " ^^ fmt) name in
+  let chk ci =
+    if ci < 0 || ci >= n_cells then
+      fail "constraint references cell %d out of range" ci
+  in
+  List.iter
+    (fun c ->
+      match Constr.scope c with
+      | None -> ()
+      | Some cells -> List.iter chk cells)
+    constraints
+
+let make ~name ~track_spacing ?(constraints = []) ~cells ~nets () =
   if track_spacing <= 0 then invalid_arg "Netlist.make: track_spacing <= 0";
   let cells = Array.of_list cells and nets = Array.of_list nets in
   validate ~name cells nets;
+  validate_constraints ~name ~n_cells:(Array.length cells) constraints;
   let nets_of_cell = Array.make (Array.length cells) [] in
   Array.iteri
     (fun ni (net : Net.t) ->
@@ -51,10 +66,12 @@ let make ~name ~track_spacing ~cells ~nets =
           if not (List.mem ni l) then nets_of_cell.(r.Net.cell) <- ni :: l)
         net.Net.pins)
     nets;
-  { name; track_spacing; cells; nets; nets_of_cell }
+  { name; track_spacing; cells; nets; nets_of_cell;
+    constraints = Array.of_list constraints }
 
 let n_cells t = Array.length t.cells
 let n_nets t = Array.length t.nets
+let n_constraints t = Array.length t.constraints
 
 let total_pins t =
   Array.fold_left (fun acc c -> acc + Cell.n_pins c) 0 t.cells
@@ -105,4 +122,6 @@ let average_pin_density t =
 
 let pp_summary ppf t =
   Format.fprintf ppf "%s: %d cells, %d nets, %d pins, area=%d, ts=%d" t.name
-    (n_cells t) (n_nets t) (total_pins t) (total_cell_area t) t.track_spacing
+    (n_cells t) (n_nets t) (total_pins t) (total_cell_area t) t.track_spacing;
+  if n_constraints t > 0 then
+    Format.fprintf ppf ", constraints=%d" (n_constraints t)

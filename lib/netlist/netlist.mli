@@ -10,15 +10,27 @@ type t = private {
       (** For each cell, the indices of the nets having at least one pin on
           it (deduplicated); drives incremental TEIC updates when a cell
           moves. *)
+  constraints : Constr.t array;
+      (** Placement constraints in declaration order; each becomes one slot
+          of the placement's [C4] penalty accumulator. *)
 }
 
 val make :
-  name:string -> track_spacing:int -> cells:Cell.t list -> nets:Net.t list -> t
+  name:string ->
+  track_spacing:int ->
+  ?constraints:Constr.t list ->
+  cells:Cell.t list ->
+  nets:Net.t list ->
+  unit ->
+  t
 (** Validates the structure: pin references must be in range, every pin's
     [net] field must agree with the net that references it, every net must
     have at least two pin references (counting equivalence classes as one
-    effective endpoint is the router's business, not the netlist's).
-    Raises [Invalid_argument] with a descriptive message otherwise. *)
+    effective endpoint is the router's business, not the netlist's), and
+    every constraint must reference in-range cells.  Raises
+    [Invalid_argument] with a descriptive message otherwise. *)
+
+val n_constraints : t -> int
 
 val n_cells : t -> int
 val n_nets : t -> int

@@ -125,10 +125,43 @@ let parse_cell_header ln toks =
       H_instances { name; sites }
   | _ -> fail ln "malformed cell header"
 
+(* A constraint line in the top-level scope; all cell references are by
+   name and resolve at [Builder.build] time. *)
+let parse_constraint ln toks =
+  let i = int_of ln in
+  match toks with
+  | [ "blockage"; x0; y0; x1; y1 ] ->
+      Constr.Blockage_spec { x0 = i x0; y0 = i y0; x1 = i x1; y1 = i y1 }
+  | [ "keepout"; cell; margin ] ->
+      Constr.Keepout_spec { cell; margin = i margin }
+  | [ "fix"; cell; x; y ] -> Constr.Fixed_spec { cell; x = i x; y = i y }
+  | [ "region"; cell; x0; y0; x1; y1 ] ->
+      Constr.Region_spec
+        { cell; x0 = i x0; y0 = i y0; x1 = i x1; y1 = i y1 }
+  | [ "boundary"; cell; side ] -> (
+      match Side.of_string side with
+      | Some side -> Constr.Boundary_spec { cell; side }
+      | None -> fail ln "unknown side %S" side)
+  | [ "align"; a; b; axis ] -> (
+      match Constr.axis_of_string axis with
+      | Some axis -> Constr.Align_spec { a; b; axis }
+      | None -> fail ln "unknown alignment axis %S (want h or v)" axis)
+  | [ "abut"; a; b ] -> Constr.Abut_spec { a; b }
+  | [ "density"; x0; y0; x1; y1; cap ] ->
+      Constr.Density_spec
+        { x0 = i x0; y0 = i y0; x1 = i x1; y1 = i y1; cap_permille = i cap }
+  | kw :: _ -> fail ln "malformed %s line" kw
+  | [] -> fail ln "empty constraint line"
+
+let constraint_keywords =
+  [ "blockage"; "keepout"; "fix"; "region"; "boundary"; "align"; "abut";
+    "density" ]
+
 let parse_lines lines =
   let builder = ref None in
   let circuit_name = ref None and track_spacing = ref None in
   let pending_weights = ref [] in
+  let pending_constrs = ref [] in
   let get_builder ln =
     match !builder with
     | Some b -> b
@@ -138,6 +171,8 @@ let parse_lines lines =
             let b = Builder.create ~name ~track_spacing:ts in
             List.iter (fun (net, h, v) -> Builder.set_net_weight b ~net ~h ~v)
               (List.rev !pending_weights);
+            List.iter (fun c -> Builder.add_constraint b c)
+              (List.rev !pending_constrs);
             builder := Some b;
             b
         | None, _ -> fail ln "missing 'circuit NAME' before cells"
@@ -216,6 +251,11 @@ let parse_lines lines =
               | None -> pending_weights := (net, h, v) :: !pending_weights)
           | None, "cell" :: rest ->
               in_cell := Some (parse_cell_header ln rest, [], [], [])
+          | None, (kw :: _ as toks) when List.mem kw constraint_keywords -> (
+              let c = parse_constraint ln toks in
+              match !builder with
+              | Some b -> Builder.add_constraint b c
+              | None -> pending_constrs := c :: !pending_constrs)
           | None, [ "end" ] -> fail ln "'end' outside a cell"
           | None, tok :: _ -> fail ln "unexpected token %S" tok
           | _, [] -> ()))

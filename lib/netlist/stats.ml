@@ -12,6 +12,7 @@ type t = {
   total_perimeter : int;
   avg_pin_density : float;
   max_net_degree : int;
+  n_constraints : int;
 }
 
 let of_netlist (nl : Netlist.t) =
@@ -46,13 +47,17 @@ let of_netlist (nl : Netlist.t) =
        else float_of_int total_cell_area /. float_of_int n_cells);
     total_perimeter;
     avg_pin_density = Netlist.average_pin_density nl;
-    max_net_degree }
+    max_net_degree;
+    n_constraints = Netlist.n_constraints nl }
 
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>cells: %d (%d macro, %d custom)@,nets: %d (max degree %d)@,\
      pins: %d (%.2f per net)@,cell area: %d (avg %.1f)@,\
-     perimeter: %d, pin density D_p: %.4f@]"
+     perimeter: %d, pin density D_p: %.4f%t@]"
     s.n_cells s.n_macro s.n_custom s.n_nets s.max_net_degree s.n_pins
     s.avg_pins_per_net s.total_cell_area s.avg_cell_area s.total_perimeter
     s.avg_pin_density
+    (fun ppf ->
+      if s.n_constraints > 0 then
+        Format.fprintf ppf "@,constraints: %d" s.n_constraints)

@@ -14,6 +14,7 @@ type t = {
   total_perimeter : int;
   avg_pin_density : float;  (** [D_p] of Sec 2.2. *)
   max_net_degree : int;
+  n_constraints : int;  (** Placement constraints carried by the netlist. *)
 }
 
 val of_netlist : Netlist.t -> t

@@ -5,6 +5,7 @@ module Pin = Pin
 module Pin_site = Pin_site
 module Cell = Cell
 module Net = Net
+module Constr = Constr
 module Netlist = Netlist
 module Builder = Builder
 module Parser = Parser

@@ -64,6 +64,35 @@ let to_string (nl : Netlist.t) =
       Array.iter (fun p -> pp_pin net_names buf p) c.Cell.pins;
       Buffer.add_string buf "end\n")
     nl.Netlist.cells;
+  (* Constraints go last so unconstrained output is byte-identical to the
+     pre-constraint format (golden netlist digests depend on it). *)
+  if Array.length nl.Netlist.constraints > 0 then begin
+    Buffer.add_char buf '\n';
+    let cell_name ci = nl.Netlist.cells.(ci).Cell.name in
+    Array.iter
+      (fun c ->
+        let line =
+          match Constr.spec_of ~cell_name c with
+          | Constr.Blockage_spec { x0; y0; x1; y1 } ->
+              Printf.sprintf "blockage %d %d %d %d" x0 y0 x1 y1
+          | Constr.Keepout_spec { cell; margin } ->
+              Printf.sprintf "keepout %s %d" cell margin
+          | Constr.Fixed_spec { cell; x; y } ->
+              Printf.sprintf "fix %s %d %d" cell x y
+          | Constr.Region_spec { cell; x0; y0; x1; y1 } ->
+              Printf.sprintf "region %s %d %d %d %d" cell x0 y0 x1 y1
+          | Constr.Boundary_spec { cell; side } ->
+              Printf.sprintf "boundary %s %s" cell (Side.to_string side)
+          | Constr.Align_spec { a; b; axis } ->
+              Printf.sprintf "align %s %s %s" a b (Constr.axis_to_string axis)
+          | Constr.Abut_spec { a; b } -> Printf.sprintf "abut %s %s" a b
+          | Constr.Density_spec { x0; y0; x1; y1; cap_permille } ->
+              Printf.sprintf "density %d %d %d %d %d" x0 y0 x1 y1 cap_permille
+        in
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      nl.Netlist.constraints
+  end;
   Buffer.contents buf
 
 let to_file path nl = Twmc_util.Atomic_io.write_string path (to_string nl)

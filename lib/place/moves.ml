@@ -62,17 +62,63 @@ type ctx = {
   allow_orient : bool;
   allow_variant : bool;
   prob_displacement : float;
+  (* Hard constraints on the proposal side: fixed cells admit no geometric
+     move, region-locked cells are repaired into (and vetoed outside)
+     their rectangle.  [constrained] short-circuits every check away on
+     unconstrained netlists. *)
+  constrained : bool;
+  fixed : bool array;
+  region : Rect.t option array;
 }
 
 let make_ctx ?(allow_orient = true) ?(allow_variant = true)
     ?(interchanges = true) ~placement ~limiter ~stats () =
   let r = (Placement.params placement).Params.r_ratio in
+  let nl = Placement.netlist placement in
+  let n = Netlist.n_cells nl in
+  let fixed = Array.make n false and region = Array.make n None in
+  Array.iter
+    (function
+      | Constr.Fixed { cell; _ } -> fixed.(cell) <- true
+      | Constr.Region { cell; rect } ->
+          region.(cell) <-
+            (match region.(cell) with
+            | None -> Some rect
+            | Some r ->
+                let i = Rect.inter r rect in
+                if Rect.is_empty i then Some r else Some i)
+      | _ -> ())
+    nl.Netlist.constraints;
+  let constrained =
+    Array.exists Fun.id fixed || Array.exists Option.is_some region
+  in
   { p = placement;
     limiter;
     stats;
     allow_orient;
     allow_variant;
-    prob_displacement = (if interchanges then r /. (r +. 1.0) else 1.0) }
+    prob_displacement = (if interchanges then r /. (r +. 1.0) else 1.0);
+    constrained;
+    fixed;
+    region }
+
+(* A proposed move that a hard constraint forbids: any geometric change of
+   a fixed cell, or a target center outside a region lock. *)
+let violates ctx = function
+  | Placement.Sites_move _ -> false
+  | Placement.Cell_move { ci; x; y; orient; variant; _ } ->
+      let geometric =
+        x <> None || y <> None || orient <> None || variant <> None
+      in
+      (geometric && ctx.fixed.(ci))
+      ||
+      (match ctx.region.(ci) with
+      | None -> false
+      | Some r ->
+          let px, py = Placement.cell_pos ctx.p ci in
+          let tx = Option.value x ~default:px
+          and ty = Option.value y ~default:py in
+          not (Rect.contains_point r (tx, ty)))
 
 (* Metropolis-test [moves] on their evaluated cost change and commit only
    on acceptance.  Rejected proposals — the vast majority at low
@@ -85,6 +131,11 @@ let make_ctx ?(allow_orient = true) ?(allow_variant = true)
 let trial ctx rng ~cls ~temp ~moves =
   let s = ctx.stats in
   s.class_attempts.(cls) <- s.class_attempts.(cls) + 1;
+  if ctx.constrained && List.exists (violates ctx) moves then
+    (* Constraint veto: the attempt is counted but no cost is evaluated
+       and no Metropolis draw is consumed. *)
+    false
+  else
   let delta = Placement.delta_cost ctx.p moves in
   if Anneal.metropolis rng ~t:temp ~delta then begin
     List.iter (Placement.apply_move ctx.p) moves;
@@ -104,8 +155,15 @@ let clamp lo hi v = max lo (min hi v)
 let target_of_step ctx ci (dx, dy) =
   let core = Placement.core ctx.p in
   let x, y = Placement.cell_pos ctx.p ci in
-  ( clamp core.Rect.x0 core.Rect.x1 (x + dx),
-    clamp core.Rect.y0 core.Rect.y1 (y + dy) )
+  let tx = clamp core.Rect.x0 core.Rect.x1 (x + dx)
+  and ty = clamp core.Rect.y0 core.Rect.y1 (y + dy) in
+  (* Repair, not reject: displacement targets of region-locked cells are
+     clamped into the region so the ladder keeps proposing useful moves. *)
+  match ctx.region.(ci) with
+  | None -> (tx, ty)
+  | Some r ->
+      ( clamp r.Rect.x0 (r.Rect.x1 - 1) tx,
+        clamp r.Rect.y0 (r.Rect.y1 - 1) ty )
 
 (* A_1(i, x, y): displacement at current orientation. *)
 let attempt_displacement ctx rng ~temp ~cell ~x ~y =

@@ -7,6 +7,7 @@ type t = {
   eta : float;
   kappa : int;
   p3 : float;
+  p4 : float;
   beta : float;
   mu : float;
   min_window : int;
@@ -27,6 +28,7 @@ let default =
     eta = 0.5;
     kappa = 5;
     p3 = 1.0;
+    p4 = 1.0;
     beta = 0.35;
     mu = 0.03;
     min_window = 6;

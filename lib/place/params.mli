@@ -20,6 +20,9 @@ type t = {
           (Sec 3.1.2; performance flat over [0.25, 1.0], default 0.5). *)
   kappa : int;  (** Pin-site penalty offset κ (Eqn 10; the implementation uses 5). *)
   p3 : float;  (** Weight of the pin-site penalty [C₃] (1.0 in the paper). *)
+  p4 : float;
+      (** Weight of the placement-constraint penalty [C₄] (not in the
+          paper; only consulted when the netlist carries constraints). *)
   beta : float;
       (** Optimized-over-random length ratio of the [N_L] estimator
           (substitution for dissertation Ch 5; default 0.35). *)

@@ -45,9 +45,17 @@ type t = {
   cell_nets : int array array;
   cell_net_pins : int array array array;
   cell_c3 : float array;
+  (* Placement constraints (netlist order) and their cached integer-valued
+     penalties; [cons_of_cell.(ci)] lists the constraint slots that must
+     re-evaluate when cell [ci]'s geometry changes (ascending order — the
+     C4 accumulator chain depends on it). *)
+  cons : Constr.t array;
+  cpen : float array;
+  cons_of_cell : int array array;
   mutable c1v : float;
   mutable c2v : float;
   mutable c3v : float;
+  mutable c4v : float;
   mutable teilv : float;
   mutable p2v : float;
   (* Spatial index of expanded-tile bboxes, keyed by cell index; kept in
@@ -59,6 +67,9 @@ type t = {
      matches the current simulation pass. *)
   sim_net_c1 : float array;
   sim_net_stamp : int array;
+  (* Same device for simulated constraint penalties. *)
+  sim_cpen : float array;
+  sim_cpen_stamp : int array;
   mutable sim_stamp : int;
   (* Lazy caches of orientation-transformed geometry, keyed
      [cell][variant][orient]. *)
@@ -352,6 +363,19 @@ let refresh_occupancy t ci =
   t.c3v <- t.c3v -. old +. v
 
 (* ------------------------------------------------------------------ *)
+(* Constraint penalties (C4)                                           *)
+
+(* Whole-constraint evaluation against the committed state.  [Constr.eval]
+   returns an exact integer, so the float accumulator chains built on it
+   cancel exactly across the apply, delta and recompute paths. *)
+let eval_constraint t k =
+  float_of_int
+    (Constr.eval ~n_cells:(Array.length t.cells)
+       ~tiles:(fun ci -> t.cells.(ci).abs_tiles)
+       ~pos:(fun ci -> (t.cells.(ci).x, t.cells.(ci).y))
+       ~core:t.core t.cons.(k))
+
+(* ------------------------------------------------------------------ *)
 (* Full recomputation                                                  *)
 
 let recompute_all t =
@@ -399,7 +423,14 @@ let recompute_all t =
               cs.exp_tiles)
         t.cells)
     t.cells;
-  t.c2v <- !pairwise +. !boundary
+  t.c2v <- !pairwise +. !boundary;
+  t.c4v <- 0.0;
+  Array.iteri
+    (fun k _ ->
+      let v = eval_constraint t k in
+      t.cpen.(k) <- v;
+      t.c4v <- t.c4v +. v)
+    t.cons
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -420,6 +451,30 @@ let create ~params ~core ~expander ~rng (nl : Netlist.t) =
           pin_pos = Array.make (Cell.n_pins c) (0, 0);
           bbox = Rect.empty;
           occ = [||] })
+  in
+  (* Preplaced macros start at their target, overriding the random draw
+     (the draw still happens, keeping RNG consumption uniform per cell). *)
+  Array.iter
+    (function
+      | Constr.Fixed { cell; x; y } ->
+          cells.(cell).x <- x;
+          cells.(cell).y <- y
+      | _ -> ())
+    nl.Netlist.constraints;
+  let cons = nl.Netlist.constraints in
+  let cons_of_cell =
+    Array.init n (fun ci ->
+        let acc = ref [] in
+        Array.iteri
+          (fun k c ->
+            let touches =
+              match Constr.scope c with
+              | None -> true
+              | Some cells -> List.mem ci cells
+            in
+            if touches then acc := k :: !acc)
+          cons;
+        Array.of_list (List.rev !acc))
   in
   let n_nets = Netlist.n_nets nl in
   let cell_nets = Array.map Array.of_list nl.Netlist.nets_of_cell in
@@ -458,9 +513,13 @@ let create ~params ~core ~expander ~rng (nl : Netlist.t) =
       cell_nets;
       cell_net_pins;
       cell_c3 = Array.make n 0.0;
+      cons;
+      cpen = Array.make (Array.length cons) 0.0;
+      cons_of_cell;
       c1v = 0.0;
       c2v = 0.0;
       c3v = 0.0;
+      c4v = 0.0;
       teilv = 0.0;
       p2v = 1.0;
       (* Placeholder one-bin index; [recompute_all] installs the real one. *)
@@ -470,6 +529,8 @@ let create ~params ~core ~expander ~rng (nl : Netlist.t) =
       old_pp = Array.make max_pins (0, 0);
       sim_net_c1 = Array.make n_nets 0.0;
       sim_net_stamp = Array.make n_nets 0;
+      sim_cpen = Array.make (Array.length cons) 0.0;
+      sim_cpen_stamp = Array.make (Array.length cons) 0;
       sim_stamp = 0;
       tiles_cache =
         Array.init n (fun ci ->
@@ -508,12 +569,21 @@ let expanded_tiles t ci = t.cells.(ci).exp_tiles
 let c1 t = t.c1v
 let c2_raw t = t.c2v
 let c3 t = t.c3v
+let c4 t = t.c4v
 let p2 t = t.p2v
 let set_p2 t v = t.p2v <- v
 let teil t = t.teilv
+let n_constraints t = Array.length t.cons
+let constraints t = t.cons
+let constraint_penalty t k = t.cpen.(k)
 
+(* The unconstrained expression is kept verbatim so netlists without
+   constraints produce bit-identical costs (and trajectories) to the
+   pre-constraint engine. *)
 let total_cost t =
-  t.c1v +. (t.p2v *. t.c2v) +. (t.prm.Params.p3 *. t.c3v)
+  let base = t.c1v +. (t.p2v *. t.c2v) +. (t.prm.Params.p3 *. t.c3v) in
+  if Array.length t.cons = 0 then base
+  else base +. (t.prm.Params.p4 *. t.c4v)
 
 let chip_bbox t =
   Array.fold_left
@@ -599,7 +669,13 @@ let set_cell t ci ?x ?y ?orient ?variant ?sites () =
       update_nets_of_cell t ci;
       let ov_new = cell_overlap t ci in
       t.c2v <- t.c2v -. ov_old +. ov_new;
-      if variant_changed || sites <> None then refresh_occupancy t ci
+      if variant_changed || sites <> None then refresh_occupancy t ci;
+      Array.iter
+        (fun k ->
+          let v = eval_constraint t k in
+          t.c4v <- t.c4v -. t.cpen.(k) +. v;
+          t.cpen.(k) <- v)
+        t.cons_of_cell.(ci)
 
 (* ------------------------------------------------------------------ *)
 (* Evaluate-without-apply                                              *)
@@ -624,6 +700,7 @@ type sim_cell = {
   m_variant : int;
   m_sites : int array;
   m_pp : (int * int) array;
+  m_abs : Rect.t list;
   m_exp : Rect.t list;
   m_bbox : Rect.t;
   mutable m_c3 : float;
@@ -653,6 +730,25 @@ let delta_cost t moves =
   in
   let tot0 = total_cost t in
   let c1acc = ref t.c1v and c2acc = ref t.c2v and c3acc = ref t.c3v in
+  let c4acc = ref t.c4v in
+  (* Effective constraint evaluation over pending-aware views, mirroring
+     the per-constraint chain [set_cell] runs on its committed caches. *)
+  let eff_cpen k =
+    if t.sim_cpen_stamp.(k) = stamp then t.sim_cpen.(k) else t.cpen.(k)
+  in
+  let sim_eval_constraint k =
+    float_of_int
+      (Constr.eval ~n_cells:(Array.length t.cells)
+         ~tiles:(fun ci ->
+           match find_pending ci with
+           | Some pc -> pc.m_abs
+           | None -> t.cells.(ci).abs_tiles)
+         ~pos:(fun ci ->
+           match find_pending ci with
+           | Some pc -> (pc.m_x, pc.m_y)
+           | None -> (t.cells.(ci).x, t.cells.(ci).y))
+         ~core:t.core t.cons.(k))
+  in
   (* Rescan of one net over effective pin positions.  Extremes are exact
      ints, so a rescan and the incremental update of the apply path agree
      bit-for-bit. *)
@@ -707,16 +803,16 @@ let delta_cost t moves =
   let eff_view ci =
     match find_pending ci with
     | Some pc ->
-        ( pc.m_x, pc.m_y, pc.m_orient, pc.m_variant, pc.m_sites, pc.m_exp,
-          pc.m_bbox, pc.m_c3 )
+        ( pc.m_x, pc.m_y, pc.m_orient, pc.m_variant, pc.m_sites, pc.m_abs,
+          pc.m_exp, pc.m_bbox, pc.m_c3 )
     | None ->
         let cs = t.cells.(ci) in
-        ( cs.x, cs.y, cs.orient, cs.variant, cs.sites, cs.exp_tiles, cs.bbox,
-          t.cell_c3.(ci) )
+        ( cs.x, cs.y, cs.orient, cs.variant, cs.sites, cs.abs_tiles,
+          cs.exp_tiles, cs.bbox, t.cell_c3.(ci) )
   in
   (* Mirrors [set_cell_sites]. *)
   let sim_sites_move ci sites =
-    let ex, ey, eorient, evariant, _, eexp, ebbox, ec3 = eff_view ci in
+    let ex, ey, eorient, evariant, _, eabs, eexp, ebbox, ec3 = eff_view ci in
     let c = t.nl.Netlist.cells.(ci) in
     let pp = Array.copy (eff_pp ci) in
     let site_pos = cached_sites t ci evariant eorient in
@@ -730,8 +826,8 @@ let delta_cost t moves =
       c.Cell.pins;
     let pc =
       { m_ci = ci; m_x = ex; m_y = ey; m_orient = eorient;
-        m_variant = evariant; m_sites = sites; m_pp = pp; m_exp = eexp;
-        m_bbox = ebbox; m_c3 = ec3 }
+        m_variant = evariant; m_sites = sites; m_pp = pp; m_abs = eabs;
+        m_exp = eexp; m_bbox = ebbox; m_c3 = ec3 }
     in
     install pc;
     sim_update_nets ci;
@@ -745,7 +841,7 @@ let delta_cost t moves =
     match (x, y, orient, variant, sites) with
     | None, None, None, None, Some s -> sim_sites_move ci s
     | _ ->
-        let ex, ey, eorient, evariant, esites, eexp, ebbox, ec3 =
+        let ex, ey, eorient, evariant, esites, _, eexp, ebbox, ec3 =
           eff_view ci
         in
         let ov_old = sim_overlap ci ~exp:eexp ~bbox:ebbox in
@@ -791,8 +887,8 @@ let delta_cost t moves =
           c.Cell.pins;
         let pc =
           { m_ci = ci; m_x = nx; m_y = ny; m_orient = norient;
-            m_variant = nvariant; m_sites = nsites; m_pp = pp; m_exp = exp;
-            m_bbox = bbox; m_c3 = ec3 }
+            m_variant = nvariant; m_sites = nsites; m_pp = pp; m_abs = abs;
+            m_exp = exp; m_bbox = bbox; m_c3 = ec3 }
         in
         install pc;
         sim_update_nets ci;
@@ -803,7 +899,14 @@ let delta_cost t moves =
           let c3' = c3_of_occ t ci ~variant:nvariant occ in
           c3acc := !c3acc -. ec3 +. c3';
           pc.m_c3 <- c3'
-        end
+        end;
+        Array.iter
+          (fun k ->
+            let v = sim_eval_constraint k in
+            c4acc := !c4acc -. eff_cpen k +. v;
+            t.sim_cpen.(k) <- v;
+            t.sim_cpen_stamp.(k) <- stamp)
+          t.cons_of_cell.(ci)
   in
   List.iter
     (function
@@ -811,7 +914,10 @@ let delta_cost t moves =
           sim_cell_move ci ~x ~y ~orient ~variant ~sites
       | Sites_move { ci; sites } -> sim_sites_move ci sites)
     moves;
-  (!c1acc +. (t.p2v *. !c2acc) +. (t.prm.Params.p3 *. !c3acc)) -. tot0
+  let base = !c1acc +. (t.p2v *. !c2acc) +. (t.prm.Params.p3 *. !c3acc) in
+  (if Array.length t.cons = 0 then base
+   else base +. (t.prm.Params.p4 *. !c4acc))
+  -. tot0
 
 let apply_move t = function
   | Cell_move { ci; x; y; orient; variant; sites } ->
@@ -849,17 +955,25 @@ type cell_snapshot = {
   s_occ : int array;
   s_c3 : float;
   s_nets : net_state array;
+  s_cons : (int * float) array;
 }
 
-type cost_snapshot = { g_c1 : float; g_c2 : float; g_c3 : float; g_teil : float }
+type cost_snapshot = {
+  g_c1 : float;
+  g_c2 : float;
+  g_c3 : float;
+  g_c4 : float;
+  g_teil : float;
+}
 
 let snapshot_cost t =
-  { g_c1 = t.c1v; g_c2 = t.c2v; g_c3 = t.c3v; g_teil = t.teilv }
+  { g_c1 = t.c1v; g_c2 = t.c2v; g_c3 = t.c3v; g_c4 = t.c4v; g_teil = t.teilv }
 
 let restore_cost t s =
   t.c1v <- s.g_c1;
   t.c2v <- s.g_c2;
   t.c3v <- s.g_c3;
+  t.c4v <- s.g_c4;
   t.teilv <- s.g_teil
 
 let snapshot_cell t ci =
@@ -890,7 +1004,8 @@ let snapshot_cell t ci =
             ns_cmaxx = t.net_cmaxx.(n);
             ns_cminy = t.net_cminy.(n);
             ns_cmaxy = t.net_cmaxy.(n) })
-        t.cell_nets.(ci) }
+        t.cell_nets.(ci);
+    s_cons = Array.map (fun k -> (k, t.cpen.(k))) t.cons_of_cell.(ci) }
 
 let restore_cell t s =
   let cs = t.cells.(s.s_idx) in
@@ -919,13 +1034,15 @@ let restore_cell t s =
       t.net_cmaxx.(n) <- ns.ns_cmaxx;
       t.net_cminy.(n) <- ns.ns_cminy;
       t.net_cmaxy.(n) <- ns.ns_cmaxy)
-    s.s_nets
+    s.s_nets;
+  Array.iter (fun (k, pen) -> t.cpen.(k) <- pen) s.s_cons
 
 (* ------------------------------------------------------------------ *)
 (* Verification                                                        *)
 
 let drift_report t =
-  let c1 = t.c1v and c2 = t.c2v and c3 = t.c3v and teil = t.teilv in
+  let c1 = t.c1v and c2 = t.c2v and c3 = t.c3v and c4 = t.c4v
+  and teil = t.teilv in
   recompute_all t;
   let close a b =
     Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
@@ -934,7 +1051,7 @@ let drift_report t =
     (fun (term, cached, truth) ->
       if close cached truth then None else Some (term, cached, truth))
     [ ("C1", c1, t.c1v); ("C2", c2, t.c2v); ("C3", c3, t.c3v);
-      ("TEIL", teil, t.teilv) ]
+      ("C4", c4, t.c4v); ("TEIL", teil, t.teilv) ]
 
 let verify_consistency t =
   match drift_report t with
@@ -971,4 +1088,5 @@ let verify_index t =
 
 let pp_summary ppf t =
   Format.fprintf ppf "C1=%.0f C2=%.0f (p2=%.3g) C3=%.0f TEIL=%.0f cost=%.0f"
-    t.c1v t.c2v t.p2v t.c3v t.teilv (total_cost t)
+    t.c1v t.c2v t.p2v t.c3v t.teilv (total_cost t);
+  if Array.length t.cons > 0 then Format.fprintf ppf " C4=%.0f" t.c4v

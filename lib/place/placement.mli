@@ -86,10 +86,27 @@ val c2_raw : t -> float
 (** Total overlap area, before the [p2] scaling. *)
 
 val c3 : t -> float
+val c4 : t -> float
+(** Sum of all constraint penalties (integer-valued; 0 when the netlist has
+    no constraints). *)
+
+val n_constraints : t -> int
+val constraints : t -> Twmc_netlist.Constr.t array
+val constraint_penalty : t -> int -> float
+(** Cached penalty of one constraint slot (netlist order). *)
+
+val eval_constraint : t -> int -> float
+(** From-scratch evaluation of one constraint slot against the current
+    geometry, bypassing the cache — the accounting oracle's reference
+    value.  Bit-identical to {!constraint_penalty} on an uncorrupted
+    placement. *)
+
 val p2 : t -> float
 val set_p2 : t -> float -> unit
 val total_cost : t -> float
-(** [C1 + p2·C2 + p3·C3]. *)
+(** [C1 + p2·C2 + p3·C3], plus [p4·C4] when the netlist carries
+    constraints.  The unconstrained expression is evaluated verbatim, so
+    constraint support cannot perturb unconstrained trajectories. *)
 
 val teil : t -> float
 (** Total estimated interconnect length: the unweighted sum of net spans —
@@ -113,8 +130,8 @@ val recompute_all : t -> unit
 
 val drift_report : t -> (string * float * float) list
 (** Compare the incremental accumulators against a full recomputation:
-    [(term, cached, true)] for every term (C1/C2/C3/TEIL) outside floating
-    tolerance.  Leaves the placement fully recomputed (i.e. repaired), so a
+    [(term, cached, true)] for every term (C1/C2/C3/C4/TEIL) outside
+    floating tolerance.  Leaves the placement fully recomputed (i.e. repaired), so a
     caller can treat drift as a recoverable diagnostic. *)
 
 val verify_consistency : t -> unit

@@ -39,11 +39,25 @@ let centered_core ~core_w ~core_h =
 let randomize rng p =
   let core = Placement.core p in
   let nl = Placement.netlist p in
+  let fixed = Array.make (Netlist.n_cells nl) false in
+  Array.iter
+    (function
+      | Constr.Fixed { cell; _ } -> fixed.(cell) <- true
+      | _ -> ())
+    nl.Netlist.constraints;
   for ci = 0 to Netlist.n_cells nl - 1 do
-    Placement.set_cell p ci
-      ~x:(Rng.int_incl rng core.Rect.x0 core.Rect.x1)
-      ~y:(Rng.int_incl rng core.Rect.y0 core.Rect.y1)
-      ()
+    if fixed.(ci) then begin
+      (* Preplaced cells stay put ([Moves.trial] vetoes their corrective
+         moves, so scattering them would be permanent); the draws still
+         happen to keep RNG consumption uniform per cell. *)
+      ignore (Rng.int_incl rng core.Rect.x0 core.Rect.x1);
+      ignore (Rng.int_incl rng core.Rect.y0 core.Rect.y1)
+    end
+    else
+      Placement.set_cell p ci
+        ~x:(Rng.int_incl rng core.Rect.x0 core.Rect.x1)
+        ~y:(Rng.int_incl rng core.Rect.y0 core.Rect.y1)
+        ()
   done
 
 let normalize_p2 rng p ~eta ~samples =

@@ -54,11 +54,19 @@ let route (r : Router.result) =
 
 let flow (r : Twmc.Flow.result) =
   let p = r.Twmc.Flow.stage2.Twmc.Stage2.placement in
+  (* The constraint term is appended only when the netlist carries
+     constraints, so unconstrained digests are byte-identical to those of
+     builds that predate C4. *)
+  let cons =
+    if Placement.n_constraints p = 0 then ""
+    else Printf.sprintf " c4 %.17g" (Placement.c4 p)
+  in
   hex
-    (Printf.sprintf "placement %s route %s c1 %.17g c2 %.17g c3 %.17g teil %.17g"
+    (Printf.sprintf
+       "placement %s route %s c1 %.17g c2 %.17g c3 %.17g teil %.17g%s"
        (placement p)
        (match r.Twmc.Flow.stage2.Twmc.Stage2.final_route with
        | Some rt -> route rt
        | None -> "none")
        (Placement.c1 p) (Placement.c2_raw p) (Placement.c3 p)
-       (Placement.teil p))
+       (Placement.teil p) cons)

@@ -16,6 +16,7 @@ type report = {
   invalid : int;
   timed_out : int;
   rejected : int;
+  constrained : int;
   failures : failure_record list;
   elapsed_s : float;
 }
@@ -26,6 +27,7 @@ let campaign ?corpus_dir ?time_limit_s ?(run = Runner.run ?oracles:None ?extra_o
   let t0 = Unix.gettimeofday () in
   let clean = ref 0 and degraded = ref 0 and invalid = ref 0 in
   let timed_out = ref 0 and rejected = ref 0 and iters_run = ref 0 in
+  let constrained = ref 0 in
   let failures = ref [] in
   (try
      for i = 1 to iters do
@@ -35,6 +37,7 @@ let campaign ?corpus_dir ?time_limit_s ?(run = Runner.run ?oracles:None ?extra_o
        let case = Fuzz_case.generate ~rng in
        let outcome = run case in
        incr iters_run;
+       if Fuzz_case.constrained case then incr constrained;
        progress i case outcome;
        match outcome with
        | Runner.Passed Flow.Clean -> incr clean
@@ -57,6 +60,7 @@ let campaign ?corpus_dir ?time_limit_s ?(run = Runner.run ?oracles:None ?extra_o
     invalid = !invalid;
     timed_out = !timed_out;
     rejected = !rejected;
+    constrained = !constrained;
     failures = List.rev !failures;
     elapsed_s = Unix.gettimeofday () -. t0 }
 
@@ -66,9 +70,9 @@ let replay ?(run = Runner.run ?oracles:None ?extra_oracle:None) ~dir () =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>%d case(s) in %.1fs: %d clean, %d degraded, %d invalid input, %d \
-     timed out, %d rejected by construction, %d FAILURE(S)@,"
+     timed out, %d rejected by construction, %d constrained, %d FAILURE(S)@,"
     r.iters_run r.elapsed_s r.clean r.degraded r.invalid r.timed_out
-    r.rejected
+    r.rejected r.constrained
     (List.length r.failures);
   List.iter
     (fun f ->

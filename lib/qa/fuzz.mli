@@ -16,6 +16,8 @@ type report = {
   invalid : int;
   timed_out : int;
   rejected : int;
+  constrained : int;
+      (** Cases whose mutation list injected placement constraints. *)
   failures : failure_record list;
   elapsed_s : float;
 }

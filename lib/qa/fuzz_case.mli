@@ -42,6 +42,11 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 
+val constrained : t -> bool
+(** Whether any of the case's mutations injects placement constraints
+    (blockages, keepouts, fixed/region locks, boundary, align/abut,
+    density caps). *)
+
 val netlist : t -> (Twmc_netlist.Netlist.t, string) result
 (** Realize the case: generate the synthetic circuit, then apply the
     mutations.  [Error] when the mutated structure fails netlist

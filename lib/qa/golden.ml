@@ -25,6 +25,7 @@ type t = {
   c1 : float;
   c2_raw : float;
   c3 : float;
+  c4 : float;
   teil_s1 : float;
   teil_final : float;
   area_s1 : int;
@@ -64,6 +65,7 @@ let capture ~name nl =
         c1 = Placement.c1 p;
         c2_raw = Placement.c2_raw p;
         c3 = Placement.c3 p;
+        c4 = Placement.c4 p;
         teil_s1 = r.Flow.teil_stage1;
         teil_final = r.Flow.teil_final;
         area_s1 = r.Flow.area_stage1;
@@ -107,6 +109,9 @@ let to_string g =
   line "c1 %.17g" g.c1;
   line "c2_raw %.17g" g.c2_raw;
   line "c3 %.17g" g.c3;
+  (* Emitted only when nonzero so unconstrained golden files are untouched
+     by the constraint subsystem (the parser defaults a missing key to 0). *)
+  if g.c4 <> 0.0 then line "c4 %.17g" g.c4;
   line "teil_s1 %.17g" g.teil_s1;
   line "teil_final %.17g" g.teil_final;
   line "area_s1 %d" g.area_s1;
@@ -169,6 +174,7 @@ let of_string s =
       let* c1 = fltf "c1" ~default:0.0 in
       let* c2_raw = fltf "c2_raw" ~default:0.0 in
       let* c3 = fltf "c3" ~default:0.0 in
+      let* c4 = fltf "c4" ~default:0.0 in
       let* teil_s1 = fltf "teil_s1" ~default:0.0 in
       let* teil_final = fltf "teil_final" ~default:0.0 in
       let* area_s1 = intf "area_s1" ~default:0 in
@@ -194,7 +200,7 @@ let of_string s =
       in
       Ok
         { name; netlist_digest; seed; a_c; m_routes; status; c1; c2_raw; c3;
-          teil_s1; teil_final; area_s1; area_final; route_length;
+          c4; teil_s1; teil_final; area_s1; area_final; route_length;
           route_overflow; routed; unroutable; placement_digest; route_digest;
           trace })
   | header :: _ -> err "unrecognized golden header: %s" header
@@ -225,6 +231,7 @@ let diff ~expected ~actual =
   flts "c1" expected.c1 actual.c1;
   flts "c2_raw" expected.c2_raw actual.c2_raw;
   flts "c3" expected.c3 actual.c3;
+  flts "c4" expected.c4 actual.c4;
   flts "teil_s1" expected.teil_s1 actual.teil_s1;
   flts "teil_final" expected.teil_final actual.teil_final;
   ints "area_s1" expected.area_s1 actual.area_s1;
@@ -278,4 +285,25 @@ let targets ~netlists_dir =
         n_nets = 30;
         n_pins = 80;
         frac_rectilinear = 0.5 }
-      11 ]
+      11;
+    (* A constraint-rich target: every constraint type present, so the C4
+       trajectory itself is pinned. *)
+    (let module Mutate = Twmc_workload.Mutate in
+     let seed = 13 in
+     ( "synth-cons",
+       fun () ->
+         let nl =
+           Synth.generate ~seed
+             { Synth.default_spec with
+               Synth.name = "synth-cons";
+               n_cells = 12;
+               n_nets = 26;
+               n_pins = 70 }
+         in
+         Mutate.apply_all
+           ~rng:(Twmc_sa.Rng.create ~seed:(seed lxor 0x5a5a))
+           [ Mutate.Add_blockages 2; Mutate.Add_keepouts 1;
+             Mutate.Conflicting_fixed 1; Mutate.Zero_slack_regions 1;
+             Mutate.Pin_boundary 1; Mutate.Align_chain 2; Mutate.Abut_pairs 1;
+             Mutate.Tight_density 1 ]
+           nl )) ]

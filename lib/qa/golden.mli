@@ -28,6 +28,9 @@ type t = {
   c1 : float;
   c2_raw : float;
   c3 : float;
+  c4 : float;
+      (** Constraint-penalty term; 0 (and omitted from the file) on
+          unconstrained targets. *)
   teil_s1 : float;
   teil_final : float;
   area_s1 : int;
@@ -67,4 +70,5 @@ val targets :
   netlists_dir:string -> (string * (unit -> Twmc_netlist.Netlist.t)) list
 (** The blessed set: the three example circuits ([small], [medium], [i1])
     loaded from [netlists_dir], plus two synthetic circuits ([synth-a],
-    [synth-b]) generated on the fly. *)
+    [synth-b]) generated on the fly, plus a constraint-rich circuit
+    ([synth-cons]) carrying every constraint type. *)

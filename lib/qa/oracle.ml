@@ -31,7 +31,8 @@ let finite_costs p =
       else if v < 0.0 then fail "finite-costs" "%s is negative: %g" name v
       else [])
     [ ("C1", Placement.c1 p); ("C2", Placement.c2_raw p);
-      ("C3", Placement.c3 p); ("TEIL", Placement.teil p) ]
+      ("C3", Placement.c3 p); ("C4", Placement.c4 p);
+      ("TEIL", Placement.teil p) ]
 
 (* C1 and TEIL recomputed the obvious way — net by net from the exact pin
    positions — with none of the incremental machinery. *)
@@ -149,7 +150,7 @@ let relabel p =
   in
   match
     Netlist.make ~name:(nl.Netlist.name ^ "-relabel")
-      ~track_spacing:nl.Netlist.track_spacing ~cells:cells' ~nets:nets'
+      ~track_spacing:nl.Netlist.track_spacing ~cells:cells' ~nets:nets' ()
   with
   | exception Invalid_argument m ->
       fail "relabel" "permuted netlist failed to rebuild: %s" m
@@ -180,6 +181,198 @@ let relabel p =
       check "C1" (Placement.c1 q) (Placement.c1 p)
       @ check "TEIL" (Placement.teil q) (Placement.teil p)
 
+(* ------------------------------------------------ constraint oracles *)
+
+(* Every constraint penalty is an exact integer carried in a float, so the
+   oracles below compare with [=]: any difference — even one ulp — is an
+   accounting bug, never float noise. *)
+
+(* Rebuild the placement's exact geometry in a fresh placement over a
+   (possibly modified) constraint set and core, shifting every cell by
+   [(dx, dy)] — the metamorphic oracles compare C4 across this twin. *)
+let constrained_twin p ~name_suffix ~constraints ?(dx = 0) ?(dy = 0) ?core ()
+    =
+  let nl = Placement.netlist p in
+  match
+    Netlist.make ~name:(nl.Netlist.name ^ name_suffix)
+      ~track_spacing:nl.Netlist.track_spacing ~constraints
+      ~cells:(Array.to_list nl.Netlist.cells)
+      ~nets:(Array.to_list nl.Netlist.nets)
+      ()
+  with
+  | exception Invalid_argument m -> Error m
+  | nl' ->
+      let core =
+        match core with Some c -> c | None -> Placement.core p
+      in
+      let q =
+        Placement.create ~params:(Placement.params p) ~core
+          ~expander:Placement.No_expansion ~rng:(Rng.create ~seed:0) nl'
+      in
+      let n = Netlist.n_cells nl in
+      for ci = 0 to n - 1 do
+        let x, y = Placement.cell_pos p ci in
+        Placement.set_cell q ci ~x:(x + dx) ~y:(y + dy)
+          ~orient:(Placement.cell_orient p ci)
+          ~variant:(Placement.cell_variant p ci)
+          ();
+        Placement.set_cell_sites q ci
+          (Array.init
+             (Cell.n_pins nl.Netlist.cells.(ci))
+             (fun k -> Placement.site_of_pin p ~cell:ci ~pin:k))
+      done;
+      Placement.recompute_all q;
+      Ok q
+
+(* Accounting: each cached per-constraint penalty, and the C4 accumulator,
+   must equal a from-scratch evaluation bit-for-bit. *)
+let constraints_accounting p =
+  let acc = ref [] and sum = ref 0.0 in
+  for k = 0 to Placement.n_constraints p - 1 do
+    let fresh = Placement.eval_constraint p k in
+    sum := !sum +. fresh;
+    let cached = Placement.constraint_penalty p k in
+    if cached <> fresh then
+      acc :=
+        !acc
+        @ fail "constraints-accounting"
+            "constraint %d (%s): cached penalty %.17g vs fresh %.17g" k
+            (Constr.kind_name (Placement.constraints p).(k))
+            cached fresh
+  done;
+  let c4 = Placement.c4 p in
+  if c4 = !sum then !acc
+  else
+    !acc
+    @ fail "constraints-accounting" "C4 accumulator %.17g vs fresh sum %.17g"
+        c4 !sum
+
+(* Translating the constraints, the core and the whole placement together
+   leaves every penalty — hence C4 — unchanged. *)
+let constraints_translation p =
+  let dx = 29 and dy = -17 in
+  let cons =
+    Array.to_list
+      (Array.map (Constr.translate ~dx ~dy) (Placement.constraints p))
+  in
+  match
+    constrained_twin p ~name_suffix:"-shift" ~constraints:cons ~dx ~dy
+      ~core:(Rect.translate (Placement.core p) ~dx ~dy)
+      ()
+  with
+  | Error m ->
+      fail "constraints-translation" "shifted netlist failed to rebuild: %s" m
+  | Ok q ->
+      let c4 = Placement.c4 p and c4' = Placement.c4 q in
+      if c4' = c4 then []
+      else
+        fail "constraints-translation"
+          "C4 changed under whole-layout (%d,%d) shift: %.17g -> %.17g" dx dy
+          c4 c4'
+
+(* Tightening every density cap cannot decrease C4. *)
+let density_monotone p =
+  let cons = Placement.constraints p in
+  if
+    not (Array.exists (function Constr.Density _ -> true | _ -> false) cons)
+  then []
+  else
+    let tightened =
+      Array.to_list
+        (Array.map
+           (function
+             | Constr.Density { rect; cap_permille } ->
+                 Constr.Density
+                   { rect; cap_permille = max 1 (cap_permille / 2) }
+             | c -> c)
+           cons)
+    in
+    match constrained_twin p ~name_suffix:"-tight" ~constraints:tightened () with
+    | Error m ->
+        fail "density-monotone" "tightened netlist failed to rebuild: %s" m
+    | Ok q ->
+        if Placement.c4 q >= Placement.c4 p then []
+        else
+          fail "density-monotone"
+            "halving density caps decreased C4: %.17g -> %.17g"
+            (Placement.c4 p) (Placement.c4 q)
+
+(* Widening every keepout halo cannot decrease C4. *)
+let keepout_monotone p =
+  let cons = Placement.constraints p in
+  if
+    not (Array.exists (function Constr.Keepout _ -> true | _ -> false) cons)
+  then []
+  else
+    let widened =
+      Array.to_list
+        (Array.map
+           (function
+             | Constr.Keepout { cell; margin } ->
+                 Constr.Keepout { cell; margin = margin + 2 }
+             | c -> c)
+           cons)
+    in
+    match constrained_twin p ~name_suffix:"-wide" ~constraints:widened () with
+    | Error m ->
+        fail "keepout-monotone" "widened netlist failed to rebuild: %s" m
+    | Ok q ->
+        if Placement.c4 q >= Placement.c4 p then []
+        else
+          fail "keepout-monotone"
+            "widening keepout margins by 2 decreased C4: %.17g -> %.17g"
+            (Placement.c4 p) (Placement.c4 q)
+
+(* At its fixed target a cell pays nothing; anywhere else it pays exactly
+   the Manhattan distance to the target. *)
+let fixed_oracles p =
+  let cons = Placement.constraints p in
+  let acc = ref [] in
+  Array.iteri
+    (fun k c ->
+      match c with
+      | Constr.Fixed { cell; x; y } ->
+          let cx, cy = Placement.cell_pos p cell in
+          let want = float_of_int (abs (cx - x) + abs (cy - y)) in
+          let got = Placement.constraint_penalty p k in
+          let exactness =
+            if got = want then []
+            else
+              fail "fixed-exactness"
+                "constraint %d: cached penalty %.17g, |pos - target| = %.17g"
+                k got want
+          in
+          let zero =
+            with_restored p
+              ~transform:(fun p -> Placement.set_cell p cell ~x ~y ())
+              ~restore:(fun p -> Placement.set_cell p cell ~x:cx ~y:cy ())
+              (fun () ->
+                let pen = Placement.constraint_penalty p k in
+                if pen = 0.0 then []
+                else
+                  fail "fixed-zero"
+                    "constraint %d: cell %d at its fixed target still pays \
+                     %.17g"
+                    k cell pen)
+          in
+          acc := !acc @ exactness @ zero
+      | _ -> ())
+    cons;
+  !acc
+
+let check_constraints p =
+  if Placement.n_constraints p = 0 then []
+  else
+    (* Accounting first: the metamorphic oracles below rebuild twins or end
+       in recompute_all, which would repair a corrupted accumulator before
+       it could be observed. *)
+    let accounting = constraints_accounting p in
+    let fixed = fixed_oracles p in
+    let translated = constraints_translation p in
+    let density = density_monotone p in
+    let keepout = keepout_monotone p in
+    accounting @ fixed @ translated @ density @ keepout
+
 let check_placement p =
   let finite = finite_costs p in
   if finite <> [] then finite
@@ -188,9 +381,10 @@ let check_placement p =
        transformation oracles end in recompute_all — which would repair a
        corrupted accumulator before teic_independent could see it. *)
     let independent = teic_independent p in
+    let constrained = check_constraints p in
     let translated = translation p in
     let oriented = orient_cycle p in
-    independent @ translated @ oriented @ relabel p
+    independent @ constrained @ translated @ oriented @ relabel p
 
 (* --------------------------------------------------- routing oracles *)
 

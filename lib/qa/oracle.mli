@@ -24,11 +24,26 @@ val check_placement : Twmc_place.Placement.t -> failure list
 (** The placement-level pack, in order: [finite-costs] (every cost term
     finite and non-negative), [teic-independent] (C1/TEIL recomputed from
     {!Twmc_place.Placement.pin_position} match the incremental
-    accumulators), [translation] (C1/TEIL invariant under a global cell
+    accumulators), {!check_constraints} when the netlist carries
+    constraints, [translation] (C1/TEIL invariant under a global cell
     translation, and exactly restored after translating back),
     [orient-cycle] (cycling a cell through all eight orientations and back
     restores C1/TEIL bit-for-bit), [relabel] (reversing the cell order —
     with net pin references remapped — leaves C1/TEIL unchanged). *)
+
+val check_constraints : Twmc_place.Placement.t -> failure list
+(** The constraint-penalty pack (empty list immediately when the netlist
+    has no constraints), in order: [constraints-accounting] (each cached
+    per-constraint penalty and the C4 accumulator equal a from-scratch
+    evaluation {e bit-for-bit} — penalties are exact integers, so [=] is
+    the comparison), [fixed-exactness] / [fixed-zero] (a fixed cell's
+    penalty is exactly its Manhattan distance to the target, and zero at
+    the target), [constraints-translation] (translating constraints, core
+    and placement together leaves C4 unchanged), [density-monotone]
+    (halving every density cap cannot decrease C4) and [keepout-monotone]
+    (widening every keepout margin cannot decrease C4).  Runs before the
+    transformation oracles inside {!check_placement} because those end in
+    a repairing recompute. *)
 
 val check_route :
   Twmc_place.Placement.t -> Twmc_route.Global_router.result -> failure list

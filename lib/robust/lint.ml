@@ -140,4 +140,91 @@ let netlist (nl : Netlist.t) =
           [ Side.Left; Side.Right; Side.Bottom; Side.Top ]
       end)
     nl.Netlist.cells;
+  (* Constraint-set feasibility. *)
+  let cons = nl.Netlist.constraints in
+  let cell_name ci = nl.Netlist.cells.(ci).Cell.name in
+  (* E111: a region lock whose window cannot contain the cell in any
+     variant or orientation — the penalty can never anneal to zero. *)
+  Array.iter
+    (function
+      | Constr.Region { cell; rect } ->
+          let c = nl.Netlist.cells.(cell) in
+          let rw = Rect.width rect and rh = Rect.height rect in
+          let fits v =
+            let s = (Cell.variant c v).Cell.shape in
+            let w = Shape.width s and h = Shape.height s in
+            (w <= rw && h <= rh) || (h <= rw && w <= rh)
+          in
+          if not (List.exists fits (List.init (Cell.n_variants c) Fun.id))
+          then
+            add (Diagnostic.make ~entity:(cell_name cell) ~code:"E111"
+                   (Printf.sprintf
+                      "region %dx%d cannot contain cell %s in any variant or \
+                       orientation"
+                      rw rh (cell_name cell)))
+      | _ -> ())
+    cons;
+  (* E112: the same cell fixed at two different targets. *)
+  let fixed_at = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | Constr.Fixed { cell; x; y } -> (
+          match Hashtbl.find_opt fixed_at cell with
+          | Some (x', y') when (x', y') <> (x, y) ->
+              add (Diagnostic.make ~entity:(cell_name cell) ~code:"E112"
+                     (Printf.sprintf
+                        "cell %s fixed at both (%d, %d) and (%d, %d)"
+                        (cell_name cell) x' y' x y))
+          | Some _ -> ()
+          | None -> Hashtbl.add fixed_at cell (x, y))
+      | _ -> ())
+    cons;
+  (* W206: overlapping blockages double-charge the shared area. *)
+  let blockages =
+    Array.to_list cons
+    |> List.filter_map (function Constr.Blockage r -> Some r | _ -> None)
+  in
+  let rec pairwise = function
+    | [] -> ()
+    | r :: rest ->
+        List.iter
+          (fun r' ->
+            let a = Rect.inter_area r r' in
+            if a > 0 then
+              add (Diagnostic.make ~entity:"blockage" ~code:"W206"
+                     (Printf.sprintf
+                        "blockages overlap by area %d: the shared area is \
+                         penalized twice"
+                        a)))
+          rest;
+        pairwise rest
+  in
+  pairwise blockages;
+  (* W207: a density window whose cap is below the demand already fixed
+     inside it (fixed cells approximated by their variant-0 bounding box
+     centered at the target) — the penalty cannot reach zero. *)
+  Array.iter
+    (function
+      | Constr.Density { rect; cap_permille } ->
+          let budget = Rect.area rect * cap_permille / 1000 in
+          let demand = ref 0 in
+          Array.iter
+            (function
+              | Constr.Fixed { cell; x; y } ->
+                  let s = (Cell.variant nl.Netlist.cells.(cell) 0).Cell.shape in
+                  let bb =
+                    Rect.of_center_dims ~cx:x ~cy:y ~w:(Shape.width s)
+                      ~h:(Shape.height s)
+                  in
+                  demand := !demand + Rect.inter_area bb rect
+              | _ -> ())
+            cons;
+          if !demand > budget then
+            add (Diagnostic.make ~entity:"density" ~code:"W207"
+                   (Printf.sprintf
+                      "density cap %d/1000 admits area %d but fixed cells \
+                       already demand %d inside the window"
+                      cap_permille budget !demand))
+      | _ -> ())
+    cons;
   List.rev !ds

@@ -13,7 +13,13 @@
     Neither pass raises. *)
 
 val builder : ?file:string -> Twmc_netlist.Builder.t -> Diagnostic.t list
-(** Declaration-level lint (codes E100–E106, W201–W202). *)
+(** Declaration-level lint (codes E100–E108, W201–W202); E107/E108 cover
+    constraints referencing unknown cells or carrying invalid values. *)
 
 val netlist : Twmc_netlist.Netlist.t -> Diagnostic.t list
-(** Built-netlist lint (codes E101, E109, E110, W203–W205). *)
+(** Built-netlist lint (codes E101, E109–E112, W203–W207).  The
+    constraint-set pass reports E111 (a region lock too small to ever
+    contain its cell), E112 (one cell fixed at two different targets),
+    W206 (overlapping blockages double-charge the shared area) and W207
+    (a density cap below the demand of the cells fixed inside the
+    window). *)

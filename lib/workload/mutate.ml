@@ -9,10 +9,31 @@ type t =
   | Pathological_aspect of int
   | Heavy_net of int
   | Near_disconnected
+  | Add_blockages of int
+  | Add_keepouts of int
+  | Conflicting_fixed of int
+  | Zero_slack_regions of int
+  | Pin_boundary of int
+  | Align_chain of int
+  | Abut_pairs of int
+  | Tight_density of int
 
 let all_kinds =
   [ Sliver_macros 3; Tiny_cells 3; Duplicate_pins 2; Pathological_aspect 2;
-    Heavy_net 6; Near_disconnected ]
+    Heavy_net 6; Near_disconnected; Add_blockages 2; Add_keepouts 2;
+    Conflicting_fixed 1; Zero_slack_regions 2; Pin_boundary 2; Align_chain 3;
+    Abut_pairs 2; Tight_density 1 ]
+
+let constraint_kinds =
+  [ Add_blockages 2; Add_keepouts 2; Conflicting_fixed 1; Zero_slack_regions 2;
+    Pin_boundary 2; Align_chain 3; Abut_pairs 2; Tight_density 1 ]
+
+let is_constraint_kind = function
+  | Add_blockages _ | Add_keepouts _ | Conflicting_fixed _
+  | Zero_slack_regions _ | Pin_boundary _ | Align_chain _ | Abut_pairs _
+  | Tight_density _ -> true
+  | Sliver_macros _ | Tiny_cells _ | Duplicate_pins _ | Pathological_aspect _
+  | Heavy_net _ | Near_disconnected -> false
 
 let to_string = function
   | Sliver_macros n -> Printf.sprintf "sliver:%d" n
@@ -21,6 +42,14 @@ let to_string = function
   | Pathological_aspect n -> Printf.sprintf "aspect:%d" n
   | Heavy_net n -> Printf.sprintf "heavynet:%d" n
   | Near_disconnected -> "bridge"
+  | Add_blockages n -> Printf.sprintf "blockage:%d" n
+  | Add_keepouts n -> Printf.sprintf "keepout:%d" n
+  | Conflicting_fixed n -> Printf.sprintf "fixpair:%d" n
+  | Zero_slack_regions n -> Printf.sprintf "region0:%d" n
+  | Pin_boundary n -> Printf.sprintf "boundary:%d" n
+  | Align_chain n -> Printf.sprintf "align:%d" n
+  | Abut_pairs n -> Printf.sprintf "abut:%d" n
+  | Tight_density n -> Printf.sprintf "density0:%d" n
 
 let of_string s =
   match String.split_on_char ':' s with
@@ -35,6 +64,14 @@ let of_string s =
           | "duppins" -> Some (Duplicate_pins n)
           | "aspect" -> Some (Pathological_aspect n)
           | "heavynet" -> Some (Heavy_net n)
+          | "blockage" -> Some (Add_blockages n)
+          | "keepout" -> Some (Add_keepouts n)
+          | "fixpair" -> Some (Conflicting_fixed n)
+          | "region0" -> Some (Zero_slack_regions n)
+          | "boundary" -> Some (Pin_boundary n)
+          | "align" -> Some (Align_chain n)
+          | "abut" -> Some (Abut_pairs n)
+          | "density0" -> Some (Tight_density n)
           | _ -> None))
   | _ -> None
 
@@ -87,7 +124,7 @@ let ir_of_netlist (nl : Netlist.t) =
     nl.Netlist.cells
 
 let build_ir ~name ~track_spacing ~(weights : (string * float * float) list)
-    cells =
+    ?(constraints = []) cells =
   let b = Builder.create ~name ~track_spacing in
   Array.iter
     (fun c ->
@@ -111,6 +148,7 @@ let build_ir ~name ~track_spacing ~(weights : (string * float * float) list)
     (fun (net, h, v) ->
       if Hashtbl.mem live net then Builder.set_net_weight b ~net ~h ~v)
     weights;
+  List.iter (fun spec -> Builder.add_constraint b spec) constraints;
   Builder.build b
 
 let weights_of (nl : Netlist.t) =
@@ -140,6 +178,18 @@ let body_height = function
   | Instances (s :: _) -> Shape.height s
   | _ -> 8
 
+let body_width = function
+  | Macro s -> Shape.width s
+  | Instances (s :: _) -> Shape.width s
+  | _ -> 8
+
+(* Representative cell span for sizing constraint geometry: the mean bbox
+   height across the circuit.  The core frame is origin-centered, so
+   constraint rects built around (0, 0) land where cells actually go. *)
+let typical_dim cells =
+  let s = Array.fold_left (fun acc c -> acc + body_height c.body) 0 cells in
+  max 4 (s / max 1 (Array.length cells))
+
 (* Re-express a pin inside the bounding box of a fresh [w]×[h] rectangle in
    the builder's 0-based frame; old offsets are center-relative, so shift
    then clamp. *)
@@ -157,7 +207,12 @@ let replace_shape cell ~w ~h =
 
 let is_macro c = match c.body with Macro _ -> true | _ -> false
 
-let mutate_ir rng mutation cells =
+(* Pair up a picked index list: [a; b; c; d; e] -> [(a, b); (c, d)]. *)
+let rec pairs_of = function
+  | a :: b :: tl -> (a, b) :: pairs_of tl
+  | _ -> []
+
+let mutate_ir rng mutation cells ~add_constr =
   match mutation with
   | Sliver_macros n ->
       List.iter
@@ -261,12 +316,100 @@ let mutate_ir rng mutation cells =
                   (fun p -> not (List.mem p.Builder.net_name cut))
                   c.pins)
             cells)
+  | Add_blockages n ->
+      (* A comb of blockage slabs straddling the core center, each about one
+         typical cell wide — cells can rarely clear them entirely, so the
+         incremental C4 path gets exercised by partial overlaps. *)
+      let d = typical_dim cells in
+      for k = 0 to n - 1 do
+        let x0 = (k * 2 * d) - (n * d) in
+        add_constr
+          (Constr.Blockage_spec
+             { x0; y0 = -d; x1 = x0 + d + 1; y1 = d + 1 })
+      done
+  | Add_keepouts n ->
+      List.iter
+        (fun i ->
+          let c = cells.(i) in
+          add_constr
+            (Constr.Keepout_spec
+               { cell = c.cell_name; margin = max 1 (body_height c.body / 2) }))
+        (pick_cells rng cells ~n (fun _ -> true))
+  | Conflicting_fixed n ->
+      (* Pin pairs of cells to the same center: each fix is individually
+         satisfiable, but the pair also maximizes overlap — penalty terms
+         pull in opposite directions. *)
+      List.iteri
+        (fun j (a, b) ->
+          let x = j * 2 and y = -j in
+          add_constr (Constr.Fixed_spec { cell = cells.(a).cell_name; x; y });
+          add_constr (Constr.Fixed_spec { cell = cells.(b).cell_name; x; y }))
+        (pairs_of (pick_cells rng cells ~n:(2 * n) (fun _ -> true)))
+  | Zero_slack_regions n ->
+      (* Region exactly the cell's bounding box: a single feasible position,
+         every displacement pays rent. *)
+      List.iteri
+        (fun k i ->
+          let c = cells.(i) in
+          let w = max 1 (body_width c.body)
+          and h = max 1 (body_height c.body) in
+          let x0 = (k * 3) - (w / 2) and y0 = (k * 3) - (h / 2) in
+          add_constr
+            (Constr.Region_spec
+               { cell = c.cell_name; x0; y0; x1 = x0 + w; y1 = y0 + h }))
+        (pick_cells rng cells ~n (fun _ -> true))
+  | Pin_boundary n ->
+      let sides = [| Side.Left; Side.Bottom; Side.Right; Side.Top |] in
+      List.iteri
+        (fun k i ->
+          add_constr
+            (Constr.Boundary_spec
+               { cell = cells.(i).cell_name; side = sides.(k mod 4) }))
+        (pick_cells rng cells ~n (fun _ -> true))
+  | Align_chain n -> (
+      match pick_cells rng cells ~n (fun _ -> true) with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          ignore
+            (List.fold_left
+               (fun (prev, k) i ->
+                 add_constr
+                   (Constr.Align_spec
+                      { a = cells.(prev).cell_name;
+                        b = cells.(i).cell_name;
+                        axis = (if k mod 2 = 0 then Constr.H else Constr.V) });
+                 (i, k + 1))
+               (first, 0) rest))
+  | Abut_pairs n ->
+      List.iter
+        (fun (a, b) ->
+          add_constr
+            (Constr.Abut_spec
+               { a = cells.(a).cell_name; b = cells.(b).cell_name }))
+        (pairs_of (pick_cells rng cells ~n:(2 * n) (fun _ -> true)))
+  | Tight_density n ->
+      (* Nested near-zero-cap windows around the core center: almost any
+         occupancy inside is over budget. *)
+      let d = typical_dim cells in
+      for k = 1 to n do
+        let r = d * (k + 1) in
+        add_constr
+          (Constr.Density_spec
+             { x0 = -r; y0 = -r; x1 = r; y1 = r; cap_permille = 1 })
+      done
 
 let apply ~rng mutation (nl : Netlist.t) =
   let cells = ir_of_netlist nl in
-  mutate_ir rng mutation cells;
+  let cell_name ci = nl.Netlist.cells.(ci).Cell.name in
+  let existing =
+    Array.to_list (Array.map (Constr.spec_of ~cell_name) nl.Netlist.constraints)
+  in
+  let added = ref [] in
+  mutate_ir rng mutation cells ~add_constr:(fun c -> added := c :: !added);
   build_ir ~name:nl.Netlist.name ~track_spacing:nl.Netlist.track_spacing
-    ~weights:(weights_of nl) cells
+    ~weights:(weights_of nl)
+    ~constraints:(existing @ List.rev !added)
+    cells
 
 let apply_all ~rng mutations nl =
   List.fold_left (fun nl m -> apply ~rng m nl) nl mutations

@@ -33,10 +33,38 @@ type t =
       (** Split the cells into two halves and delete every net spanning
           them except one — the layout's only bridge.  Cells may end up
           pinless (lint W201). *)
+  | Add_blockages of int
+      (** Add [n] blockage slabs straddling the core center, each about one
+          typical cell wide — cells can rarely clear them entirely. *)
+  | Add_keepouts of int
+      (** Give up to [n] cells a keepout halo of half their own height. *)
+  | Conflicting_fixed of int
+      (** Fix [n] {e pairs} of cells to the same center point: each fix is
+          satisfiable alone but the pair maximizes overlap. *)
+  | Zero_slack_regions of int
+      (** Lock up to [n] cells into regions exactly their own bounding-box
+          size — a single feasible position each. *)
+  | Pin_boundary of int
+      (** Pin up to [n] cells to core edges, cycling over the four sides. *)
+  | Align_chain of int
+      (** Chain up to [n] cells with pairwise alignment constraints on
+          alternating axes (over-constrained lattice). *)
+  | Abut_pairs of int
+      (** Require [n] pairs of cells to abut. *)
+  | Tight_density of int
+      (** Add [n] nested density windows around the core center with a
+          near-zero (1 permille) cap — almost any occupancy is over
+          budget. *)
 
 val all_kinds : t list
 (** One representative of each constructor, with small default counts —
     the fuzzer's sampling universe. *)
+
+val constraint_kinds : t list
+(** The constraint-injecting subset of {!all_kinds} — one adversarial
+    mutator per placement-constraint type. *)
+
+val is_constraint_kind : t -> bool
 
 val to_string : t -> string
 (** Stable textual form, e.g. ["sliver:3"]; round-trips with
@@ -45,10 +73,12 @@ val to_string : t -> string
 val of_string : string -> t option
 
 val apply : rng:Twmc_sa.Rng.t -> t -> Twmc_netlist.Netlist.t -> Twmc_netlist.Netlist.t
-(** Apply one mutation.  Raises whatever {!Twmc_netlist.Builder.build}
-    raises when the mutated structure is invalid — callers that need
-    crash-freedom (the fuzz runner) catch [Invalid_argument] and classify
-    the case as rejected-by-construction. *)
+(** Apply one mutation.  Pre-existing placement constraints are carried
+    through unchanged (constraint mutators append to them).  Raises
+    whatever {!Twmc_netlist.Builder.build} raises when the mutated
+    structure is invalid — callers that need crash-freedom (the fuzz
+    runner) catch [Invalid_argument] and classify the case as
+    rejected-by-construction. *)
 
 val apply_all :
   rng:Twmc_sa.Rng.t -> t list -> Twmc_netlist.Netlist.t -> Twmc_netlist.Netlist.t

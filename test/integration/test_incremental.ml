@@ -108,6 +108,99 @@ let test_differential_small_seeds () =
 let test_differential_more_seeds () =
   List.iter differential_run [ 101; 202; 303 ]
 
+(* ------------------------------------------ constrained differentials *)
+
+module Mutate = Twmc_workload.Mutate
+
+(* Layer every constraint type onto a netlist (deterministic in [seed]). *)
+let constrain ~seed nl =
+  Mutate.apply_all
+    ~rng:(Rng.create ~seed:(seed lxor 0x5a5a))
+    [ Mutate.Add_blockages 2; Mutate.Add_keepouts 1; Mutate.Conflicting_fixed 1;
+      Mutate.Zero_slack_regions 1; Mutate.Pin_boundary 1; Mutate.Align_chain 2;
+      Mutate.Abut_pairs 1; Mutate.Tight_density 1 ]
+    nl
+
+(* Constraint penalties are exact integers, so cached-vs-fresh agreement is
+   bit-exact, not within-tolerance. *)
+let assert_constraint_accounting ~what p =
+  let sum = ref 0.0 in
+  for k = 0 to Placement.n_constraints p - 1 do
+    let cached = Placement.constraint_penalty p k in
+    let fresh = Placement.eval_constraint p k in
+    sum := !sum +. fresh;
+    if Int64.bits_of_float cached <> Int64.bits_of_float fresh then
+      Alcotest.failf "%s: constraint %d cached=%.17g fresh=%.17g" what k
+        cached fresh
+  done;
+  if Int64.bits_of_float (Placement.c4 p) <> Int64.bits_of_float !sum then
+    Alcotest.failf "%s: C4 accumulator %.17g <> fresh sum %.17g" what
+      (Placement.c4 p) !sum
+
+(* The ~500-move differential property on constraint-rich netlists: after
+   every batch the cached per-constraint penalties and the C4 accumulator
+   must match a from-scratch evaluation bit-for-bit, on top of the usual
+   drift gate (which now carries a C4 row). *)
+let differential_constrained_run seed =
+  let rng = Rng.create ~seed in
+  let spec = random_spec rng in
+  let nl = constrain ~seed (Synth.generate ~seed:(Rng.int_incl rng 0 9999) spec) in
+  checkb "netlist is constrained" true
+    (Twmc_netlist.Netlist.n_constraints nl > 0);
+  let sizing =
+    Twmc_estimator.Core_area.determine ~beta:Params.default.Params.beta
+      ~aspect:1.0 ~fill_target:0.6 nl
+  in
+  let core =
+    centered_core ~w:sizing.Twmc_estimator.Core_area.core_w
+      ~h:sizing.Twmc_estimator.Core_area.core_h
+  in
+  let est =
+    Twmc_estimator.Dynamic_area.create ~beta:Params.default.Params.beta
+      ~core_w:(Rect.width core) ~core_h:(Rect.height core) nl
+  in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:(Placement.Dynamic est) ~rng nl
+  in
+  Placement.set_p2 p 0.5;
+  let limiter =
+    Range_limiter.of_core ~rho:4.0 ~t_inf:1e4 ~core ~min_window:6
+  in
+  let dyn_ctx =
+    Moves.make_ctx ~placement:p ~limiter ~stats:(Moves.make_stats ()) ()
+  in
+  let static_ctx =
+    lazy
+      (Moves.make_ctx ~allow_orient:false ~allow_variant:false
+         ~interchanges:false ~placement:p ~limiter
+         ~stats:(Moves.make_stats ()) ())
+  in
+  let batches = 10 and batch = 50 in
+  for b = 1 to batches do
+    let temp = if b mod 2 = 1 then 1e4 else 1e-3 in
+    let ctx =
+      if b <= 6 then dyn_ctx
+      else begin
+        if b = 7 then begin
+          let n = Twmc_netlist.Netlist.n_cells nl in
+          Placement.set_expander p
+            (Placement.Static (Array.make n (3, 3, 3, 3)))
+        end;
+        Lazy.force static_ctx
+      end
+    in
+    for _ = 1 to batch do
+      Moves.generate ctx rng ~temp
+    done;
+    let what = Printf.sprintf "constrained seed %d batch %d" seed b in
+    assert_constraint_accounting ~what p;
+    assert_no_drift ~what p
+  done
+
+let test_differential_constrained () =
+  List.iter differential_constrained_run [ 7; 8; 9 ]
+
 (* Direct term-by-term check at a finer grain: after every single accepted
    or rejected move on one circuit, the four cached terms match the oracle
    within 1e-6 relative. *)
@@ -315,6 +408,131 @@ let test_delta_vs_apply () =
   checkb "coverage: enough move kinds exercised" true (!checked > 150);
   assert_no_drift ~what:"delta-vs-apply end" p
 
+(* Satellite: delta-vs-apply bit-exactness on a constrained netlist, for
+   every move kind, with displacement targets biased onto and just across
+   the blockage edges — the worst case for the per-constraint incremental
+   re-evaluation. *)
+let test_delta_vs_apply_constrained () =
+  let rng = Rng.create ~seed:911 in
+  let nl =
+    constrain ~seed:911
+      (Synth.generate ~seed:19
+         { Synth.default_spec with
+           Synth.n_cells = 9;
+           n_nets = 24;
+           n_pins = 64;
+           frac_custom = 0.5;
+           frac_rectilinear = 0.4 })
+  in
+  let module Constr = Twmc_netlist.Constr in
+  let blockage =
+    Array.to_list nl.Twmc_netlist.Netlist.constraints
+    |> List.find_map (function Constr.Blockage r -> Some r | _ -> None)
+  in
+  let blockage =
+    match blockage with
+    | Some r -> r
+    | None -> Alcotest.fail "constrained netlist carries no blockage"
+  in
+  let core = centered_core ~w:300 ~h:300 in
+  let est =
+    Twmc_estimator.Dynamic_area.create ~beta:Params.default.Params.beta
+      ~core_w:(Rect.width core) ~core_h:(Rect.height core) nl
+  in
+  let p =
+    Placement.create ~params:Params.default ~core
+      ~expander:(Placement.Dynamic est) ~rng nl
+  in
+  Placement.set_p2 p 0.7;
+  let n = Twmc_netlist.Netlist.n_cells nl in
+  let cm ?x ?y ?orient ?variant ?sites ci =
+    Placement.Cell_move { ci; x; y; orient; variant; sites }
+  in
+  let checked = ref 0 in
+  let check_move what moves =
+    let d = Placement.delta_cost p moves in
+    let t0 = Placement.total_cost p in
+    List.iter (Placement.apply_move p) moves;
+    let t1 = Placement.total_cost p in
+    let measured = t1 -. t0 in
+    if Int64.bits_of_float d <> Int64.bits_of_float measured then
+      Alcotest.failf "%s: delta_cost %.17g <> measured %.17g" what d measured;
+    incr checked
+  in
+  (* Positions on, one inside and one outside each blockage edge, plus
+     uniform draws. *)
+  let edge_xs =
+    [| blockage.Rect.x0 - 1; blockage.Rect.x0; blockage.Rect.x0 + 1;
+       blockage.Rect.x1 - 1; blockage.Rect.x1; blockage.Rect.x1 + 1 |]
+  and edge_ys =
+    [| blockage.Rect.y0 - 1; blockage.Rect.y0; blockage.Rect.y0 + 1;
+       blockage.Rect.y1 - 1; blockage.Rect.y1; blockage.Rect.y1 + 1 |]
+  in
+  let rand_pos () =
+    if Rng.bool_with_prob rng 0.6 then (Rng.pick rng edge_xs, Rng.pick rng edge_ys)
+    else
+      ( Rng.int_incl rng core.Rect.x0 core.Rect.x1,
+        Rng.int_incl rng core.Rect.y0 core.Rect.y1 )
+  in
+  let module Cell = Twmc_netlist.Cell in
+  let module Pin = Twmc_netlist.Pin in
+  let module Orient = Twmc_geometry.Orient in
+  let random_sites ci =
+    let c = nl.Twmc_netlist.Netlist.cells.(ci) in
+    let variant = Placement.cell_variant p ci in
+    let sites =
+      Array.init (Cell.n_pins c) (fun pin ->
+          Placement.site_of_pin p ~cell:ci ~pin)
+    in
+    let uncommitted = ref [] in
+    Array.iteri
+      (fun pi pin ->
+        if not (Pin.is_committed pin) then uncommitted := pi :: !uncommitted)
+      c.Cell.pins;
+    match !uncommitted with
+    | [] -> None
+    | l -> (
+        let pin = List.nth l (Rng.int_incl rng 0 (List.length l - 1)) in
+        match Cell.allowed_sites c ~variant pin with
+        | [] -> None
+        | allowed ->
+            sites.(pin) <- Rng.pick_list rng allowed;
+            Some sites)
+  in
+  for i = 1 to 40 do
+    let ci = Rng.int_incl rng 0 (n - 1) in
+    let x, y = rand_pos () in
+    check_move "c-displace" [ cm ~x ~y ci ];
+    let o = Rng.pick_list rng Orient.all in
+    check_move "c-orient" [ cm ~orient:o ci ];
+    let x, y = rand_pos () in
+    let o = Rng.pick_list rng Orient.all in
+    check_move "c-displace+orient" [ cm ~x ~y ~orient:o ci ];
+    let cj = Rng.int_incl rng 0 (n - 1) in
+    if cj <> ci then begin
+      let xi, yi = Placement.cell_pos p ci
+      and xj, yj = Placement.cell_pos p cj in
+      check_move "c-interchange" [ cm ~x:xj ~y:yj ci; cm ~x:xi ~y:yi cj ]
+    end;
+    let c = nl.Twmc_netlist.Netlist.cells.(ci) in
+    if Cell.n_variants c > 1 then begin
+      let v' = Rng.int_incl rng 0 (Cell.n_variants c - 1) in
+      check_move "c-variant" [ cm ~variant:v' ci ]
+    end;
+    (match random_sites ci with
+    | Some sites -> check_move "c-sites" [ Placement.Sites_move { ci; sites } ]
+    | None -> ());
+    (match random_sites ci with
+    | Some sites -> check_move "c-sites-via-cell-move" [ cm ~sites ci ]
+    | None -> ());
+    if i = 20 then
+      Placement.set_expander p (Placement.Static (Array.make n (3, 3, 3, 3)))
+  done;
+  checkb "coverage: enough constrained move kinds exercised" true
+    (!checked > 150);
+  assert_constraint_accounting ~what:"constrained delta-vs-apply end" p;
+  assert_no_drift ~what:"constrained delta-vs-apply end" p
+
 let () =
   Alcotest.run "incremental"
     [ ( "differential",
@@ -327,4 +545,8 @@ let () =
           Alcotest.test_case "indexed overlap vs full scan" `Quick
             test_index_vs_scan;
           Alcotest.test_case "delta_cost vs apply-and-measure" `Quick
-            test_delta_vs_apply ] ) ]
+            test_delta_vs_apply;
+          Alcotest.test_case "500 moves, 3 constrained netlists" `Quick
+            test_differential_constrained;
+          Alcotest.test_case "constrained delta_cost vs apply" `Quick
+            test_delta_vs_apply_constrained ] ) ]

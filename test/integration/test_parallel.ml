@@ -262,6 +262,33 @@ let test_flow_jobs_invariant () =
   Alcotest.(check string)
     "byte-identical flow result" (flow_bytes seq) (flow_bytes par)
 
+(* The constrained flow must be jobs-invariant too: the constraint veto in
+   move generation and the C4 accumulators run identically whether the
+   replicas execute sequentially or on a domain pool. *)
+let test_constrained_flow_jobs_invariant () =
+  let module Mutate = Twmc_workload.Mutate in
+  let nl =
+    Mutate.apply_all
+      ~rng:(Rng.create ~seed:(21 lxor 0x5a5a))
+      [ Mutate.Add_blockages 2; Mutate.Conflicting_fixed 1;
+        Mutate.Zero_slack_regions 1; Mutate.Tight_density 1 ]
+      (Lazy.force small_nl)
+  in
+  Alcotest.(check bool)
+    "netlist is constrained" true
+    (Twmc_netlist.Netlist.n_constraints nl > 0);
+  let params =
+    { quick_params with Twmc_place.Params.refinement_iterations = 1 }
+  in
+  let seq = Twmc.Flow.run ~params ~seed:3 ~jobs:1 ~replicas:2 nl in
+  let par = Twmc.Flow.run ~params ~seed:3 ~jobs:test_jobs ~replicas:2 nl in
+  Alcotest.(check string)
+    "byte-identical constrained flow result" (flow_bytes seq) (flow_bytes par);
+  Alcotest.(check string)
+    "identical flow digests"
+    (Twmc_qa.Fingerprint.flow seq)
+    (Twmc_qa.Fingerprint.flow par)
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -284,4 +311,6 @@ let () =
           Alcotest.test_case "mshortest batch order" `Quick
             test_mshortest_batch_invariant;
           Alcotest.test_case "flow jobs=1 vs jobs=N" `Quick
-            test_flow_jobs_invariant ] ) ]
+            test_flow_jobs_invariant;
+          Alcotest.test_case "constrained flow jobs=1 vs jobs=N" `Quick
+            test_constrained_flow_jobs_invariant ] ) ]

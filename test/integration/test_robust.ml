@@ -73,7 +73,45 @@ let corpus =
        cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\n",
       "P001" );
     ( "garbage line",
-      "circuit c\ntrack_spacing 2\nwibble wobble\n", "P001" ) ]
+      "circuit c\ntrack_spacing 2\nwibble wobble\n", "P001" );
+    (* Constraint lints.  Each fixture is the same valid two-cell base
+       circuit plus a crafted infeasible or overlapping constraint set. *)
+    ( "constraint on unknown cell",
+      "circuit c\ntrack_spacing 2\n\
+       cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+       cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+       keepout ghost 2\n",
+      "E107" );
+    ( "empty blockage rectangle",
+      "circuit c\ntrack_spacing 2\n\
+       cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+       cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+       blockage 10 10 2 2\n",
+      "E108" );
+    ( "region smaller than its cell",
+      "circuit c\ntrack_spacing 2\n\
+       cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+       cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+       region a 0 0 5 5\n",
+      "E111" );
+    ( "cell fixed at two targets",
+      "circuit c\ntrack_spacing 2\n\
+       cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+       cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+       fix a 0 0\nfix a 5 5\n",
+      "E112" );
+    ( "overlapping blockages",
+      "circuit c\ntrack_spacing 2\n\
+       cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+       cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+       blockage 0 0 10 10\nblockage 5 5 15 15\n",
+      "W206" );
+    ( "density cap below fixed demand",
+      "circuit c\ntrack_spacing 2\n\
+       cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+       cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+       fix a 0 0\ndensity -5 -5 5 5 1\n",
+      "W207" ) ]
 
 let test_corpus () =
   List.iter
@@ -104,6 +142,30 @@ let test_clean_netlist_passes () =
   checkb "ok" true (Check.ok r);
   checkb "ok strict" true (Check.ok ~strict:true r);
   checkb "netlist built" true (Option.is_some r.Check.netlist)
+
+let test_clean_constrained_passes () =
+  (* A feasible constraint set must not trip the new lint passes. *)
+  let src =
+    "circuit c\ntrack_spacing 2\n\
+     cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+     cell b macro\n tile 0 0 10 10\n pin q net N at 0 5\nend\n\
+     blockage 20 20 30 30\n\
+     keepout a 2\n\
+     fix b -20 -20\n\
+     region a -50 -50 50 50\n\
+     boundary a left\n\
+     align a b v\n\
+     abut a b\n\
+     density -40 -40 40 40 900\n"
+  in
+  let r = Check.string src in
+  checkb "ok" true (Check.ok r);
+  checkb "ok strict" true (Check.ok ~strict:true r);
+  match r.Check.netlist with
+  | Some nl ->
+      check "constraints survive lint" 8
+        (Array.length nl.Twmc_netlist.Netlist.constraints)
+  | None -> Alcotest.fail "expected a netlist"
 
 let test_crlf_accepted () =
   let src =
@@ -240,6 +302,8 @@ let () =
     [ ( "lint",
         [ Alcotest.test_case "malformed corpus" `Quick test_corpus;
           Alcotest.test_case "clean passes" `Quick test_clean_netlist_passes;
+          Alcotest.test_case "clean constrained passes" `Quick
+            test_clean_constrained_passes;
           Alcotest.test_case "crlf" `Quick test_crlf_accepted;
           Alcotest.test_case "parse error located" `Quick
             test_parse_error_located;

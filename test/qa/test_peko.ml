@@ -332,6 +332,9 @@ let test_committed_corpus_replays () =
   checkb "corpus present" true (List.length cases >= 2);
   checkb "corpus has peko cases" true
     (List.exists (fun (_, c) -> c.Fuzz_case.peko > 0) cases);
+  checkb "corpus has constrained cases" true
+    (List.length (List.filter (fun (_, c) -> Fuzz_case.constrained c) cases)
+    >= 3);
   List.iter
     (fun (path, c) ->
       match Runner.run c with

@@ -203,6 +203,58 @@ let test_oracles_catch_seeded_accounting_bug () =
         true
         (List.exists (fun f -> f.Oracle.oracle = "teic-independent") fails)
 
+(* The constraint-subsystem variant of the mutation test above: drop the
+   C4 accumulator updates for a move of a constrained cell (positions new,
+   cached per-constraint penalties stale) and require the constraint
+   oracles specifically — not just the TEIC recomputation — to notice. *)
+let test_oracles_catch_dropped_constraint_penalty () =
+  let module Placement = Twmc_place.Placement in
+  let module Constr = Twmc_netlist.Constr in
+  let nl =
+    Synth.generate ~seed:3
+      { Synth.default_spec with Synth.n_cells = 8; n_nets = 16; n_pins = 40 }
+  in
+  let nl =
+    Mutate.apply_all
+      ~rng:(Rng.create ~seed:(3 lxor 0x5a5a))
+      [ Mutate.Conflicting_fixed 1; Mutate.Add_blockages 1 ]
+      nl
+  in
+  let params =
+    { Twmc_place.Params.default with Twmc_place.Params.a_c = 4; m_routes = 6 }
+  in
+  let rr = Flow.run_resilient ~params ~seed:1 nl in
+  match rr.Flow.flow with
+  | None -> Alcotest.fail "flow produced no result"
+  | Some r ->
+      let p = r.Flow.stage2.Twmc.Stage2.placement in
+      let ci =
+        match
+          Array.to_list (Placement.constraints p)
+          |> List.find_map (function
+               | Constr.Fixed { cell; _ } -> Some cell
+               | _ -> None)
+        with
+        | Some ci -> ci
+        | None -> Alcotest.fail "mutated netlist carries no fixed constraint"
+      in
+      (* Move the fixed cell far enough that its Manhattan penalty must
+         change, then restore the stale cost snapshot: the cached
+         per-constraint penalties no longer match a from-scratch
+         evaluation. *)
+      let snap = Placement.snapshot_cost p in
+      let x, y = Placement.cell_pos p ci in
+      Placement.set_cell p ci ~x:(x + 7777) ~y:(y - 7777) ();
+      Placement.restore_cost p snap;
+      let fails = Oracle.check_placement p in
+      Alcotest.(check bool)
+        (Printf.sprintf "constraint oracles caught the stale C4 cache (%s)"
+           (String.concat "," (List.map (fun f -> f.Oracle.oracle) fails)))
+        true
+        (List.exists
+           (fun f -> f.Oracle.oracle = "constraints-accounting")
+           fails)
+
 (* -------------------------------------------------------- fuzz smoke *)
 
 let test_fuzz_smoke () =
@@ -251,7 +303,9 @@ let () =
           Alcotest.test_case "pack restores the placement" `Slow
             test_oracles_restore_placement;
           Alcotest.test_case "pack catches seeded accounting bug" `Slow
-            test_oracles_catch_seeded_accounting_bug ] );
+            test_oracles_catch_seeded_accounting_bug;
+          Alcotest.test_case "pack catches dropped constraint penalty" `Slow
+            test_oracles_catch_dropped_constraint_penalty ] );
       ( "fuzz",
         [ Alcotest.test_case "20-case smoke, zero failures" `Slow
             test_fuzz_smoke;

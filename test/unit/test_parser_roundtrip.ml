@@ -8,6 +8,7 @@ open Twmc_netlist
 
 let check = Alcotest.(check int)
 let checks = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
 
 (* `dune runtest` runs in the test directory; `dune exec test/...` runs in
    the workspace root — resolve whichever prefix exists. *)
@@ -85,6 +86,81 @@ let crlf_roundtrip file () =
     ~what:(Filename.basename file ^ " (crlf)")
     nl (Parser.parse_string crlf)
 
+(* ----------------------------------------------- constraint syntax *)
+
+(* A hand-written circuit carrying every constraint keyword exactly once.
+   Parse -> write -> re-parse must preserve each constraint (checked with
+   [Constr.equal]) and the canonical text must be a fixpoint. *)
+let constrained_src =
+  "circuit cons\ntrack_spacing 2\n\
+   cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n\
+   cell b macro\n tile 0 0 8 8\n pin q net N at 0 4\nend\n\
+   blockage 2 2 8 8\n\
+   keepout a 3\n\
+   fix a -5 -5\n\
+   region b -20 -20 20 20\n\
+   boundary a left\n\
+   align a b v\n\
+   abut a b\n\
+   density -10 -10 10 10 500\n"
+
+let assert_constraints_equal ~what (a : Netlist.t) (b : Netlist.t) =
+  check
+    (what ^ ": constraint count")
+    (Array.length a.Netlist.constraints)
+    (Array.length b.Netlist.constraints);
+  Array.iteri
+    (fun i ca ->
+      checkb
+        (Printf.sprintf "%s: constraint %d (%s) preserved" what i
+           (Constr.kind_name ca))
+        true
+        (Constr.equal ca b.Netlist.constraints.(i)))
+    a.Netlist.constraints
+
+let constrained_roundtrip () =
+  let nl = Parser.parse_string constrained_src in
+  check "all eight constraint kinds" 8 (Array.length nl.Netlist.constraints);
+  let text = Writer.to_string nl in
+  let nl' = Parser.parse_string text in
+  assert_structurally_equal ~what:"constrained" nl nl';
+  assert_constraints_equal ~what:"constrained" nl nl';
+  checks "constrained: canonical fixpoint" text (Writer.to_string nl')
+
+let constrained_crlf () =
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' constrained_src)
+  in
+  let nl = Parser.parse_string constrained_src in
+  let nl' = Parser.parse_string crlf in
+  assert_structurally_equal ~what:"constrained (crlf)" nl nl';
+  assert_constraints_equal ~what:"constrained (crlf)" nl nl'
+
+(* Malformed constraint lines must raise a positioned [Parse_error] at
+   the offending line, never a bare exception.  Each fixture places the
+   bad line at line 7 (after the two-line header and a four-line cell). *)
+let malformed_constraints =
+  [ ("blockage arity", "blockage 0 0 10");
+    ("keepout arity", "keepout a");
+    ("fix non-integer", "fix a 1 x");
+    ("region arity", "region a 0 0 10");
+    ("boundary unknown side", "boundary a northwest");
+    ("align unknown axis", "align a b diag");
+    ("abut arity", "abut a");
+    ("density arity", "density 0 0 5 5") ]
+
+let malformed_constraint (name, bad_line) () =
+  let src =
+    "circuit c\ntrack_spacing 2\n\
+     cell a macro\n tile 0 0 10 10\n pin p net N at 0 5\nend\n" ^ bad_line
+    ^ "\n"
+  in
+  match Parser.parse_string ~file:"bad.twn" src with
+  | _ -> Alcotest.fail (name ^ ": expected Parse_error")
+  | exception Parser.Parse_error { file; line; _ } ->
+      checks (name ^ ": file") "bad.twn" file;
+      check (name ^ ": line") 7 line
+
 let () =
   Alcotest.run "parser-roundtrip"
     [ ( "roundtrip",
@@ -96,4 +172,12 @@ let () =
         List.map
           (fun f ->
             Alcotest.test_case (Filename.basename f) `Quick (crlf_roundtrip f))
-          golden_files ) ]
+          golden_files );
+      ( "constraints",
+        [ Alcotest.test_case "roundtrip" `Quick constrained_roundtrip;
+          Alcotest.test_case "crlf" `Quick constrained_crlf ] );
+      ( "malformed-constraints",
+        List.map
+          (fun ((name, _) as fixture) ->
+            Alcotest.test_case name `Quick (malformed_constraint fixture))
+          malformed_constraints ) ]
